@@ -1,0 +1,127 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (sections 5-9) and also times the regeneration
+   kernels themselves with Bechamel (one Test.make per table/figure).
+
+   Output sections:
+     FIGURE 2  — basic shootdown costs + least-squares fit
+     TABLE 1   — lazy evaluation on/off
+     TABLE 2   — kernel-pmap initiator statistics per application
+     TABLE 3   — user-pmap initiator statistics (Camelot)
+     TABLE 4   — responder statistics (5 of 16 CPUs sampled)
+     OVERHEAD  — section 8 percentages + scaling extrapolation
+     ABLATIONS — section 9 hardware support options
+     BECHAMEL  — wall-clock cost of each regeneration kernel *)
+
+let section name =
+  Printf.printf "\n================ %s ================\n%!" name
+
+let () =
+  let t0 = Unix.gettimeofday () in
+
+  section "FIGURE 2: BASIC COSTS OF TLB SHOOTDOWN";
+  let fig = Experiments.Figure2.run () in
+  print_string (Experiments.Figure2.render fig);
+
+  section "TABLE 1: EFFECT OF LAZY EVALUATION";
+  let t1 = Experiments.Table1.run () in
+  print_string (Experiments.Table1.render t1);
+
+  section "TABLES 2-4: APPLICATION SHOOTDOWN STATISTICS";
+  let apps = Experiments.Apps.run () in
+  print_string (Experiments.Table2.render (Experiments.Table2.of_apps apps));
+  let big, small = Experiments.Table2.agora_split apps in
+  Printf.printf
+    "Agora bimodality: setup-phase median %.0f us (many processors), \
+     run-phase median %.0f us (few)\n"
+    big.Instrument.Stats.median small.Instrument.Stats.median;
+  print_newline ();
+  print_string (Experiments.Table3.render (Experiments.Table3.of_apps apps));
+  print_newline ();
+  print_string (Experiments.Table4.render (Experiments.Table4.of_apps apps));
+
+  section "SECTION 8: OVERHEAD AND SCALING";
+  let o = Experiments.Overhead.of_apps apps ~fit:fig.Experiments.Figure2.fit in
+  print_string (Experiments.Overhead.render o);
+
+  section "SECTION 3: BASELINE POLICY COMPARISON";
+  let b = Experiments.Baselines.run () in
+  print_string (Experiments.Baselines.render b);
+
+  section "SCALING VALIDATION (EXTENSION)";
+  let sc =
+    Experiments.Scaling.run ~runs:2 ~sizes:[ 16; 32; 48 ]
+      ~fit:fig.Experiments.Figure2.fit ()
+  in
+  print_string (Experiments.Scaling.render sc);
+
+  section "SECTION 8 PROPOSAL: POOL-STRUCTURED KERNEL (EXTENSION)";
+  let pools = Experiments.Pools.run () in
+  print_string (Experiments.Pools.render pools);
+
+  section "SECTION 9: HARDWARE SUPPORT ABLATIONS";
+  let a = Experiments.Ablations.run () in
+  print_string (Experiments.Ablations.render a);
+
+  section "BECHAMEL: REGENERATION KERNEL COSTS";
+  let open Bechamel in
+  let tester ~children ~policy () =
+    let params =
+      match policy with
+      | `Shootdown -> Sim.Params.default
+      | `Hw ->
+          {
+            Sim.Params.default with
+            consistency = Sim.Params.Hw_remote;
+            tlb_interlocked_refmod = true;
+          }
+    in
+    ignore (Workloads.Tlb_tester.run_fresh ~params ~children ~seed:7L ())
+  in
+  let tiny = 10 (* percent scale for the application kernels *) in
+  let tests =
+    Test.make_grouped ~name:"repro"
+      [
+        Test.make ~name:"figure2:one-shootdown-k4"
+          (Staged.stage (tester ~children:4 ~policy:`Shootdown));
+        Test.make ~name:"table1:parthenon-lazy"
+          (Staged.stage (fun () ->
+               ignore
+                 (Workloads.Parthenon.run
+                    ~cfg:(Experiments.Apps.scaled_parthenon tiny)
+                    ())));
+        Test.make ~name:"table2:mach-build"
+          (Staged.stage (fun () ->
+               ignore
+                 (Workloads.Mach_build.run
+                    ~cfg:(Experiments.Apps.scaled_mach tiny)
+                    ())));
+        Test.make ~name:"table3:camelot"
+          (Staged.stage (fun () ->
+               ignore
+                 (Workloads.Camelot.run
+                    ~cfg:(Experiments.Apps.scaled_camelot tiny)
+                    ())));
+        Test.make ~name:"table4:responders-k8"
+          (Staged.stage (tester ~children:8 ~policy:`Shootdown));
+        Test.make ~name:"ablations:hw-remote-k4"
+          (Staged.stage (tester ~children:4 ~policy:`Hw));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols (List.hd instances) raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-32s %10.2f ms/run\n" name (est /. 1e6)
+      | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
+    results;
+
+  Printf.printf "\ntotal bench wall time: %.1f s\n"
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,186 @@
+(* tlbshoot: command-line driver for the reproduction experiments.
+
+     tlbshoot figure2 [--runs 10] [--max-procs 15]
+     tlbshoot table1 [--scale 100]
+     tlbshoot tables [--scale 100]     (Tables 2, 3, 4 from one data set)
+     tlbshoot overhead [--scale 100]
+     tlbshoot ablations [--runs 3]
+     tlbshoot tester --children 4 [--no-consistency | --policy ...]
+     tlbshoot all [--scale 100] *)
+
+open Cmdliner
+
+let print_figure2 ~runs ~max_procs =
+  let r = Experiments.Figure2.run ~runs_per_point:runs ~max_procs () in
+  print_string (Experiments.Figure2.render r)
+
+let print_table1 ~scale =
+  let t = Experiments.Table1.run ~scale () in
+  print_string (Experiments.Table1.render t)
+
+let print_tables ~scale =
+  let apps = Experiments.Apps.run ~scale () in
+  print_string (Experiments.Table2.render (Experiments.Table2.of_apps apps));
+  print_newline ();
+  print_string (Experiments.Table3.render (Experiments.Table3.of_apps apps));
+  print_newline ();
+  print_string (Experiments.Table4.render (Experiments.Table4.of_apps apps))
+
+let print_overhead ~scale =
+  let apps = Experiments.Apps.run ~scale () in
+  let fig = Experiments.Figure2.run ~runs_per_point:3 () in
+  let o =
+    Experiments.Overhead.of_apps apps ~fit:fig.Experiments.Figure2.fit
+  in
+  print_string (Experiments.Overhead.render o)
+
+let print_baselines () =
+  let b = Experiments.Baselines.run () in
+  print_string (Experiments.Baselines.render b)
+
+let print_scaling ~runs =
+  let fig = Experiments.Figure2.run ~runs_per_point:3 ~max_procs:12 () in
+  let s =
+    Experiments.Scaling.run ~runs ~fit:fig.Experiments.Figure2.fit ()
+  in
+  print_string (Experiments.Scaling.render s)
+
+let print_pools () =
+  let p = Experiments.Pools.run () in
+  print_string (Experiments.Pools.render p)
+
+let print_ablations ~runs =
+  let a = Experiments.Ablations.run ~runs () in
+  print_string (Experiments.Ablations.render a)
+
+let run_tester ~children ~policy =
+  let params =
+    match policy with
+    | "shootdown" -> Sim.Params.default
+    | "none" -> { Sim.Params.default with consistency = Sim.Params.No_consistency }
+    | "timer" ->
+        { Sim.Params.default with consistency = Sim.Params.Timer_flush 5_000.0 }
+    | "hw" ->
+        {
+          Sim.Params.default with
+          consistency = Sim.Params.Hw_remote;
+          tlb_interlocked_refmod = true;
+        }
+    | "deferred" ->
+        { Sim.Params.default with consistency = Sim.Params.Deferred_free 2_000.0 }
+    | other -> failwith (Printf.sprintf "unknown policy %S" other)
+  in
+  let r = Workloads.Tlb_tester.run_fresh ~params ~children ~seed:42L () in
+  Printf.printf
+    "policy=%s children=%d consistent=%b violations=%d processors=%d \
+     initiator=%.0f us increments=%d\n"
+    policy children r.Workloads.Tlb_tester.consistent
+    r.Workloads.Tlb_tester.violations r.Workloads.Tlb_tester.processors
+    r.Workloads.Tlb_tester.initiator_elapsed
+    r.Workloads.Tlb_tester.increments_total
+
+let print_all ~scale ~runs =
+  print_figure2 ~runs ~max_procs:15;
+  print_newline ();
+  print_table1 ~scale;
+  print_newline ();
+  print_tables ~scale;
+  print_newline ();
+  print_overhead ~scale;
+  print_newline ();
+  print_ablations ~runs:2
+
+(* --- cmdliner wiring --- *)
+
+let scale_arg =
+  Arg.(value & opt int 100 & info [ "scale" ] ~doc:"Workload scale percent.")
+
+let runs_arg =
+  Arg.(value & opt int 10 & info [ "runs" ] ~doc:"Runs per data point.")
+
+let max_procs_arg =
+  Arg.(value & opt int 15 & info [ "max-procs" ] ~doc:"Largest processor count.")
+
+let children_arg =
+  Arg.(value & opt int 4 & info [ "children" ] ~doc:"Tester child threads.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt string "shootdown"
+    & info [ "policy" ] ~doc:"Consistency policy: shootdown|none|timer|hw|deferred.")
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let figure2_cmd =
+  cmd "figure2" "Reproduce Figure 2 (basic shootdown costs)"
+    Term.(
+      const (fun runs max_procs -> print_figure2 ~runs ~max_procs)
+      $ runs_arg $ max_procs_arg)
+
+let table1_cmd =
+  cmd "table1" "Reproduce Table 1 (lazy evaluation)"
+    Term.(const (fun scale -> print_table1 ~scale) $ scale_arg)
+
+let tables_cmd =
+  cmd "tables" "Reproduce Tables 2-4 (application shootdown statistics)"
+    Term.(const (fun scale -> print_tables ~scale) $ scale_arg)
+
+let overhead_cmd =
+  cmd "overhead" "Reproduce the section 8 overhead analysis"
+    Term.(const (fun scale -> print_overhead ~scale) $ scale_arg)
+
+let baselines_cmd =
+  cmd "baselines" "Compare the section 3 consistency policies"
+    Term.(const print_baselines $ const ())
+
+let scaling_cmd =
+  cmd "scaling" "Validate the section 8 extrapolation on larger machines"
+    Term.(
+      const (fun runs -> print_scaling ~runs)
+      $ Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Runs per point."))
+
+let pools_cmd =
+  cmd "pools" "Measure the section 8 pool-structured-kernel proposal"
+    Term.(const print_pools $ const ())
+
+let ablations_cmd =
+  cmd "ablations" "Run the section 9 hardware-option ablations"
+    Term.(
+      const (fun runs -> print_ablations ~runs)
+      $ Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Runs per point."))
+
+let tester_cmd =
+  cmd "tester" "Run the section 5.1 consistency tester once"
+    Term.(
+      const (fun children policy -> run_tester ~children ~policy)
+      $ children_arg $ policy_arg)
+
+let all_cmd =
+  cmd "all" "Run every experiment"
+    Term.(
+      const (fun scale runs -> print_all ~scale ~runs) $ scale_arg $ runs_arg)
+
+let () =
+  let info =
+    Cmd.info "tlbshoot" ~version:"1.0"
+      ~doc:
+        "Reproduction of 'Translation Lookaside Buffer Consistency: A \
+         Software Approach' (ASPLOS 1989)"
+  in
+  let group =
+    Cmd.group info
+      [
+        figure2_cmd;
+        table1_cmd;
+        tables_cmd;
+        overhead_cmd;
+        baselines_cmd;
+        scaling_cmd;
+        pools_cmd;
+        ablations_cmd;
+        tester_cmd;
+        all_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

@@ -1,0 +1,1 @@
+examples/anatomy.ml: Core Printf Sim Vm Workloads

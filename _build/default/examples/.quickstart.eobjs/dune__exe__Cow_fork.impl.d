@@ -1,0 +1,1 @@
+examples/cow_fork.ml: Hw Instrument List Printf Sim Vm

@@ -1,0 +1,1 @@
+examples/hardware_options.ml: Experiments List Printf

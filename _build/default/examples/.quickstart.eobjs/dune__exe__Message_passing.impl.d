@@ -1,0 +1,1 @@
+examples/message_passing.ml: Hw Instrument List Printf Sim Vm

@@ -1,0 +1,1 @@
+examples/pageout_storm.ml: Hw Instrument List Printf Sim Vm

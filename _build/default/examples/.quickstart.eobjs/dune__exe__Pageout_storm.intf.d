@@ -1,0 +1,1 @@
+examples/pageout_storm.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Hw Instrument List Printf Sim Vm

@@ -1,0 +1,27 @@
+(* Hardware support options (paper section 9) side by side: the same
+   single-shootdown microbenchmark priced under each proposed hardware
+   feature.
+
+     dune exec examples/hardware_options.exe *)
+
+let describe (v : Experiments.Ablations.variant) procs =
+  let m = Experiments.Ablations.measure_variant ~runs:3 ~procs v in
+  Printf.printf "%-28s %4d procs: %6.0f us  (consistent: %b)\n"
+    v.Experiments.Ablations.label procs
+    m.Experiments.Ablations.initiator_mean m.Experiments.Ablations.consistent
+
+let () =
+  Printf.printf
+    "Cost of one shootdown under each section 9 hardware option\n\
+     (0 us = the mechanism needs no initiator synchronization at all)\n\n";
+  List.iter
+    (fun v ->
+      describe v 4;
+      describe v 12)
+    Experiments.Ablations.variants;
+  match Experiments.Ablations.find_crossover () with
+  | Some k ->
+      Printf.printf
+        "\nbroadcast interrupts beat per-processor sends from %d processors\n"
+        k
+  | None -> Printf.printf "\nno broadcast crossover found up to 14 processors\n"

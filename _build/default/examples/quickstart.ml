@@ -1,0 +1,81 @@
+(* Quickstart: boot a simulated multiprocessor, run two threads of one
+   task on different CPUs, downgrade a shared page's protection, and watch
+   the TLB shootdown happen.
+
+     dune exec examples/quickstart.exe *)
+
+module Addr = Hw.Addr
+module Task = Vm.Task
+module Vm_map = Vm.Vm_map
+
+let () =
+  (* A 4-CPU machine is plenty for a first look. *)
+  let params = { Sim.Params.default with ncpus = 4 } in
+  let machine = Vm.Machine.create ~params () in
+  let vms = machine.Vm.Machine.vms in
+  let sched = machine.Vm.Machine.sched in
+  Vm.Machine.run ~bound:0 machine (fun self ->
+      (* A task with one page of shared read-write memory. *)
+      let task = Task.create vms ~name:"demo" in
+      Task.adopt vms self task;
+      let vpn = Vm_map.allocate vms self task.Task.map ~pages:1 () in
+      let va = Addr.addr_of_vpn vpn in
+      (match Task.write_word vms self task.Task.map va 0 with
+      | Ok () -> ()
+      | Error _ -> failwith "seed write failed");
+      Printf.printf "[%8.1f us] allocated page at 0x%x, mapped read-write\n"
+        (Vm.Machine.now machine) va;
+
+      (* A second thread of the same task hammers the page on CPU 1:
+         its TLB caches a writable translation. *)
+      let stop = ref false in
+      let writes = ref 0 in
+      let worker =
+        Task.spawn_thread vms task ~bound:1 ~name:"writer" (fun th ->
+            let rec go () =
+              Sim.Cpu.step (Sim.Sched.current_cpu th) 2.0;
+              if not !stop then
+                match Task.write_word vms th task.Task.map va (!writes + 1) with
+                | Ok () ->
+                    incr writes;
+                    go ()
+                | Error Task.Err_protection ->
+                    Printf.printf
+                      "[%8.1f us] writer took its write fault and stopped \
+                       after %d writes\n"
+                      (Vm.Machine.now machine) !writes
+                | Error Task.Err_no_entry -> failwith "page vanished"
+            in
+            go ())
+      in
+      Sim.Sched.sleep sched self 500.0;
+
+      (* Downgrade the page to read-only: because CPU 1 holds a writable
+         TLB entry, this operation must shoot it down. *)
+      Printf.printf "[%8.1f us] main thread reprotects the page read-only...\n"
+        (Vm.Machine.now machine);
+      Vm_map.protect vms self task.Task.map ~lo:vpn ~hi:(vpn + 1)
+        ~prot:Addr.Prot_read;
+      Printf.printf "[%8.1f us] ...protect returned: every TLB is consistent\n"
+        (Vm.Machine.now machine);
+
+      Sim.Sched.sleep sched self 200.0;
+      stop := true;
+      Sim.Sched.join sched self worker;
+
+      (* What the instrumentation recorded. *)
+      List.iter
+        (fun (i : Instrument.Summary.initiator) ->
+          Printf.printf
+            "shootdown on %s pmap: %d page(s), %d processor(s) shot at, \
+             initiator busy %.0f us\n"
+            (if i.Instrument.Summary.on_kernel_pmap then "kernel" else "user")
+            i.Instrument.Summary.pages i.Instrument.Summary.processors
+            i.Instrument.Summary.elapsed)
+        (Instrument.Summary.initiators machine.Vm.Machine.xpr);
+      let ctx = machine.Vm.Machine.ctx in
+      Printf.printf
+        "totals: %d shootdowns initiated, %d skipped by lazy evaluation, %d \
+         IPIs sent\n"
+        ctx.Core.Pmap.shootdowns_initiated ctx.Core.Pmap.shootdowns_skipped_lazy
+        ctx.Core.Pmap.ipis_sent)

@@ -1,0 +1,1 @@
+lib/core/pmap.ml: Action Array Hw Instrument Printf Pv_list Sim

@@ -1,0 +1,1 @@
+lib/core/pmap.mli: Action Hw Instrument Pv_list Sim

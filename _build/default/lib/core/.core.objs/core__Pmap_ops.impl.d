@@ -1,0 +1,1 @@
+lib/core/pmap_ops.ml: Array Hw List Pmap Pv_list Shootdown Sim

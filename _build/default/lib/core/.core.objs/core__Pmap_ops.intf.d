@@ -1,0 +1,1 @@
+lib/core/pmap_ops.mli: Hw Pmap Sim

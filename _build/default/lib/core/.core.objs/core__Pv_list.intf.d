@@ -1,0 +1,1 @@
+lib/core/pv_list.mli: Hw

@@ -1,0 +1,1 @@
+lib/core/shoot_trace.ml: Buffer Instrument List Pmap Printf Scanf Sim

@@ -1,0 +1,1 @@
+lib/core/shootdown.ml: Action Array Hw Instrument List Pmap Printf Shoot_trace Sim

@@ -1,0 +1,1 @@
+lib/core/shootdown.mli: Hw Pmap Sim

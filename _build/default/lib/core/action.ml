@@ -1,0 +1,59 @@
+(* Per-processor consistency-action queues (paper section 4).
+
+   The initiator queues invalidation requests here before interrupting the
+   responders.  The queue is a small fixed buffer: if the initiator detects
+   overflow it sets a flag that makes the responder flush its entire TLB
+   instead — the queue is sized so this only happens when a full flush
+   would have been chosen for efficiency anyway. *)
+
+module Addr = Hw.Addr
+
+type action =
+  | Invalidate_range of { space : int; lo : Addr.vpn; hi : Addr.vpn }
+      (* invalidate translations for [lo, hi) of the given space *)
+  | Flush_space of int
+
+type queue = {
+  capacity : int;
+  mutable items : action list; (* newest first *)
+  mutable count : int;
+  mutable overflow : bool; (* responder must flush the whole TLB *)
+  lock : Sim.Spinlock.t; (* the per-CPU "action structure" lock *)
+}
+
+let create_queue ~cpu_id ~capacity =
+  {
+    capacity;
+    items = [];
+    count = 0;
+    overflow = false;
+    lock =
+      Sim.Spinlock.create ~level:Sim.Interrupt.ipl_high
+        (Printf.sprintf "action%d" cpu_id);
+  }
+
+(* Called with the queue lock held.  On overflow the items are discarded
+   and the overflow flag forces a full flush. *)
+let enqueue q action =
+  if q.overflow then ()
+  else if q.count >= q.capacity then begin
+    q.overflow <- true;
+    q.items <- [];
+    q.count <- 0
+  end
+  else begin
+    q.items <- action :: q.items;
+    q.count <- q.count + 1
+  end
+
+(* Called with the queue lock held; returns the drained work. *)
+let drain q =
+  let work =
+    if q.overflow then `Flush_everything else `Actions (List.rev q.items)
+  in
+  q.items <- [];
+  q.count <- 0;
+  q.overflow <- false;
+  work
+
+let is_empty q = q.count = 0 && not q.overflow

@@ -1,0 +1,26 @@
+(** Per-processor consistency-action queues (paper section 4): the
+    initiator queues invalidation requests before interrupting the
+    responders.  The queue is a small fixed buffer; overflow sets a flag
+    that makes the responder flush its entire TLB instead. *)
+
+type action =
+  | Invalidate_range of { space : int; lo : Hw.Addr.vpn; hi : Hw.Addr.vpn }
+  | Flush_space of int
+
+type queue = {
+  capacity : int;
+  mutable items : action list;
+  mutable count : int;
+  mutable overflow : bool;
+  lock : Sim.Spinlock.t; (** the per-CPU "action structure" lock *)
+}
+
+val create_queue : cpu_id:int -> capacity:int -> queue
+
+val enqueue : queue -> action -> unit
+(** Queue lock held.  Overflow discards the items and latches the flag. *)
+
+val drain : queue -> [ `Actions of action list | `Flush_everything ]
+(** Queue lock held; returns the work oldest-first and resets the queue. *)
+
+val is_empty : queue -> bool

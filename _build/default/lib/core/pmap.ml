@@ -1,0 +1,185 @@
+(* Physical maps (the machine-dependent layer of the Mach VM system) and
+   the shared multiprocessor context the shootdown algorithm manipulates.
+
+   A pmap owns the hardware page tables for one address space, a lock, and
+   the per-processor in-use set.  The context gathers the shootdown state
+   of paper section 4: the active-processor set, the per-processor
+   "action needed" flags and consistency-action queues, plus the kernel
+   pmap (which is considered in use on every processor, because the kernel
+   is a multi-threaded task potentially executing everywhere). *)
+
+module Addr = Hw.Addr
+module Page_table = Hw.Page_table
+module Mmu = Hw.Mmu
+module Tlb = Hw.Tlb
+
+type t = {
+  space_id : int; (* 0 is the kernel pmap *)
+  pname : string;
+  pt : Page_table.t;
+  lock : Sim.Spinlock.t;
+  in_use : bool array; (* per processor *)
+  is_kernel : bool;
+  mutable op_count : int;
+  mutable destroyed : bool;
+}
+
+type ctx = {
+  params : Sim.Params.t;
+  eng : Sim.Engine.t;
+  bus : Sim.Bus.t;
+  cpus : Sim.Cpu.t array;
+  mmus : Mmu.t array;
+  mem : Hw.Phys_mem.t;
+  xpr : Instrument.Xpr.t;
+  (* --- shootdown state (paper Figure 1) --- *)
+  active : bool array; (* processors actively translating *)
+  action_needed : bool array;
+  queues : Action.queue array;
+  kernel_pmap : t;
+  current_user : t option array; (* user pmap loaded on each processor *)
+  pv : t Pv_list.t;
+  mutable kernel_pool_pmaps : t list;
+      (* section 8 restructuring: per-pool kernel pmaps.  A responder must
+         treat a pool pmap it is using like the kernel pmap: the shootdown
+         can target it for pmaps that are not its current user pmap. *)
+  mutable next_space : int;
+  (* --- statistics --- *)
+  shoot_phase : string array; (* per-cpu diagnostic: initiator progress *)
+  mutable shootdowns_initiated : int;
+  mutable shootdowns_skipped_lazy : int;
+  mutable ipis_sent : int;
+  mutable shootdown_initiator_time : float; (* accumulated, all initiators *)
+  mutable shootdown_responder_time : float; (* accumulated, all responders *)
+}
+
+let ncpus ctx = Array.length ctx.cpus
+
+let make_pmap ~ncpus ~space_id ~name ~is_kernel =
+  {
+    space_id;
+    pname = name;
+    pt = Page_table.create ();
+    lock =
+      Sim.Spinlock.create ~level:Sim.Interrupt.ipl_vm
+        (Printf.sprintf "pmap:%s" name);
+    in_use = Array.make ncpus is_kernel;
+    (* the kernel pmap is in use everywhere, always *)
+    is_kernel;
+    op_count = 0;
+    destroyed = false;
+  }
+
+let create_ctx ~eng ~bus ~cpus ~mmus ~mem ~params ~xpr =
+  let n = Array.length cpus in
+  let kernel_pmap = make_pmap ~ncpus:n ~space_id:0 ~name:"kernel" ~is_kernel:true in
+  let ctx =
+    {
+      params;
+      eng;
+      bus;
+      cpus;
+      mmus;
+      mem;
+      xpr;
+      active = Array.make n false;
+      action_needed = Array.make n false;
+      queues =
+        Array.init n (fun cpu_id ->
+            Action.create_queue ~cpu_id ~capacity:params.action_queue_size);
+      kernel_pmap;
+      current_user = Array.make n None;
+      pv = Pv_list.create ();
+      kernel_pool_pmaps = [];
+      next_space = 1;
+      shoot_phase = Array.make n "-";
+      shootdowns_initiated = 0;
+      shootdowns_skipped_lazy = 0;
+      ipis_sent = 0;
+      shootdown_initiator_time = 0.0;
+      shootdown_responder_time = 0.0;
+    }
+  in
+  (* Wire the kernel space into every MMU. *)
+  Array.iter
+    (fun mmu ->
+      Mmu.set_kernel mmu { Mmu.space_id = 0; pt = kernel_pmap.pt })
+    mmus;
+  ctx
+
+let create_pmap ctx ~name =
+  let id = ctx.next_space in
+  ctx.next_space <- ctx.next_space + 1;
+  make_pmap ~ncpus:(ncpus ctx) ~space_id:id ~name ~is_kernel:false
+
+(* --- bookkeeping calls from the scheduler (paper section 2: operations
+   that let the pmap module track which pmaps are in use where) --- *)
+
+(* Install [pmap] on [cpu].  On untagged hardware nothing of the previous
+   space survives in the TLB, so in-use can simply be asserted; on
+   ASID-tagged hardware the previous pmap remains in use (section 10). *)
+let activate ctx pmap (cpu : Sim.Cpu.t) =
+  let id = Sim.Cpu.id cpu in
+  pmap.in_use.(id) <- true;
+  ctx.current_user.(id) <- Some pmap;
+  let mmu = ctx.mmus.(id) in
+  Mmu.set_user mmu (Some { Mmu.space_id = pmap.space_id; pt = pmap.pt });
+  if not ctx.params.tlb_asid_tagged then begin
+    (* switching spaces flushes user translations *)
+    Tlb.flush_user (Mmu.tlb mmu) ~kernel_space:0;
+    Sim.Cpu.raw_delay cpu ctx.params.tlb_flush_cost
+  end;
+  (* If either pmap we are about to translate through is mid-update, wait
+     for the update to finish: a hardware reload during the update could
+     cache a half-changed mapping the initiator believes nobody holds.
+     The polls take interrupts: if the lock holder is a shootdown
+     initiator waiting for this processor's acknowledgement, the shootdown
+     interrupt must be serviceable from inside this very loop or the two
+     would deadlock. *)
+  ctx.shoot_phase.(id) <- "activate-spin";
+  cpu.Sim.Cpu.note <- "activate-spin";
+  while
+    Sim.Spinlock.is_locked pmap.lock
+    || Sim.Spinlock.is_locked ctx.kernel_pmap.lock
+  do
+    Sim.Cpu.spin_poll cpu
+  done;
+  ctx.shoot_phase.(id) <- "activated"
+
+let deactivate ctx pmap (cpu : Sim.Cpu.t) =
+  let id = Sim.Cpu.id cpu in
+  ctx.current_user.(id) <- None;
+  let mmu = ctx.mmus.(id) in
+  Mmu.set_user mmu None;
+  if ctx.params.tlb_asid_tagged then
+    (* The pmap stays "in use" until its entries are explicitly flushed
+       from this TLB; the bookkeeping call is ignored (section 10). *)
+    ()
+  else begin
+    pmap.in_use.(id) <- false;
+    Tlb.flush_user (Mmu.tlb mmu) ~kernel_space:0;
+    Sim.Cpu.raw_delay cpu ctx.params.tlb_flush_cost
+  end
+
+(* Is any processor other than [me] using this pmap? *)
+let other_users ctx pmap ~me =
+  let n = ncpus ctx in
+  let rec go i =
+    if i >= n then false
+    else if i <> me && pmap.in_use.(i) then true
+    else go (i + 1)
+  in
+  go 0
+
+let pmap_of_space ctx ~space ~on:(cpu_id : int) =
+  if space = 0 then Some ctx.kernel_pmap
+  else
+    match ctx.current_user.(cpu_id) with
+    | Some p when p.space_id = space -> Some p
+    | Some _ | None -> None
+
+(* The range of virtual pages a pmap can map. *)
+let vpn_bounds pmap =
+  if pmap.is_kernel then
+    (Addr.vpn_of_addr Addr.kernel_base, Addr.vpn_of_addr Addr.address_limit)
+  else (0, Addr.vpn_of_addr Addr.user_limit)

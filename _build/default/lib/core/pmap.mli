@@ -1,0 +1,77 @@
+(** Physical maps — the machine-dependent layer of the Mach VM system —
+    and the shared shootdown context (paper sections 2 and 4).
+
+    A pmap owns the hardware page tables for one address space, its lock,
+    and the per-processor in-use set.  The context gathers the state the
+    shootdown algorithm manipulates: the active-processor set, per-CPU
+    "action needed" flags, per-CPU consistency-action queues, and the
+    kernel pmap (in use on every processor, always). *)
+
+type t = {
+  space_id : int;  (** 0 is the kernel pmap *)
+  pname : string;
+  pt : Hw.Page_table.t;
+  lock : Sim.Spinlock.t;
+  in_use : bool array;  (** per processor *)
+  is_kernel : bool;
+  mutable op_count : int;
+  mutable destroyed : bool;
+}
+
+type ctx = {
+  params : Sim.Params.t;
+  eng : Sim.Engine.t;
+  bus : Sim.Bus.t;
+  cpus : Sim.Cpu.t array;
+  mmus : Hw.Mmu.t array;
+  mem : Hw.Phys_mem.t;
+  xpr : Instrument.Xpr.t;
+  active : bool array;  (** processors actively translating *)
+  action_needed : bool array;
+  queues : Action.queue array;
+  kernel_pmap : t;
+  current_user : t option array;  (** user pmap loaded per processor *)
+  pv : t Pv_list.t;
+  mutable kernel_pool_pmaps : t list;
+      (** section 8 pool-structured kernel: pool pmaps responders must
+          also stall on while locked *)
+  mutable next_space : int;
+  shoot_phase : string array;  (** per-CPU diagnostic label *)
+  mutable shootdowns_initiated : int;
+  mutable shootdowns_skipped_lazy : int;
+  mutable ipis_sent : int;
+  mutable shootdown_initiator_time : float;
+  mutable shootdown_responder_time : float;
+}
+
+val ncpus : ctx -> int
+
+val create_ctx :
+  eng:Sim.Engine.t ->
+  bus:Sim.Bus.t ->
+  cpus:Sim.Cpu.t array ->
+  mmus:Hw.Mmu.t array ->
+  mem:Hw.Phys_mem.t ->
+  params:Sim.Params.t ->
+  xpr:Instrument.Xpr.t ->
+  ctx
+(** Build the shared context and kernel pmap; wires the kernel space into
+    every MMU. *)
+
+val create_pmap : ctx -> name:string -> t
+(** A fresh user pmap with a unique space id. *)
+
+val activate : ctx -> t -> Sim.Cpu.t -> unit
+(** Bookkeeping call: [pmap] is now in use on [cpu].  Flushes user TLB
+    entries (unless ASID-tagged) and waits out any in-progress update of
+    the relevant pmaps, taking interrupts while it waits. *)
+
+val deactivate : ctx -> t -> Sim.Cpu.t -> unit
+(** [pmap] is no longer in use on [cpu] (ignored for ASID-tagged TLBs,
+    where entries outlive the context switch — paper section 10). *)
+
+val other_users : ctx -> t -> me:int -> bool
+(** Is any processor other than [me] using this pmap? *)
+
+val pmap_of_space : ctx -> space:int -> on:int -> t option
+val vpn_bounds : t -> int * int

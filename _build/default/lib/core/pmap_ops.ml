@@ -1,0 +1,163 @@
+(* The pmap operations invoked by the machine-independent VM system:
+   enter, remove, protect, page_protect (the pageout path), destroy and
+   collect.  Each operation that can leave stale rights in a remote TLB is
+   wrapped in Shootdown.with_update, with the lazy-evaluation check —
+   "are any of these pages actually mapped?" — supplied as the
+   inconsistency predicate (paper sections 4 and 7.2). *)
+
+module Addr = Hw.Addr
+module Page_table = Hw.Page_table
+
+(* Lazy-evaluation check: with the full check enabled a shootdown is
+   skipped whenever no page of the range has a valid mapping; with it
+   disabled only the page-table-structure knowledge remains (a missing
+   second-level chunk still proves 1024 pages unmapped).  The scan itself
+   costs about two instructions per page examined. *)
+let range_may_be_mapped ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi =
+  let params = ctx.Pmap.params in
+  let examined = Page_table.pages_examined pmap.Pmap.pt ~lo ~hi in
+  if params.lazy_check then begin
+    Sim.Cpu.raw_delay cpu (params.lazy_check_cost *. float_of_int examined);
+    Page_table.any_valid_in_range pmap.Pmap.pt ~lo ~hi
+  end
+  else Page_table.any_chunk_in_range pmap.Pmap.pt ~lo ~hi
+
+(* Charge the per-page page-table rewrite cost. *)
+let charge_pages ctx (cpu : Sim.Cpu.t) n =
+  if n > 0 then begin
+    Sim.Cpu.raw_delay cpu
+      (ctx.Pmap.params.pmap_op_page_cost *. float_of_int n);
+    Sim.Bus.access ctx.Pmap.bus ~n ()
+  end
+
+(* ------------------------------------------------------------------ *)
+
+(* Install a mapping from [vpn] to [pfn].  Entering over an existing,
+   different mapping first behaves like a removal (shootdown if needed);
+   entering into an empty slot needs no consistency action because TLBs
+   never cache invalid translations. *)
+let enter ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~vpn ~pfn ~prot ~wired =
+  pmap.Pmap.op_count <- pmap.Pmap.op_count + 1;
+  let lo = vpn and hi = vpn + 1 in
+  let needs_consistency () =
+    match Page_table.lookup pmap.Pmap.pt vpn with
+    | None -> false
+    | Some pte ->
+        pte.Page_table.pfn <> pfn
+        || Addr.prot_reduces ~from:pte.Page_table.prot ~to_:prot
+  in
+  Shootdown.with_update ctx cpu pmap ~lo ~hi
+    ~may_be_inconsistent:needs_consistency ~update:(fun () ->
+      (match Page_table.lookup pmap.Pmap.pt vpn with
+      | Some old when old.Page_table.pfn <> pfn ->
+          Pv_list.remove ctx.Pmap.pv ~pfn:old.Page_table.pfn ~pmap ~vpn
+      | Some _ | None -> ());
+      let already_this_frame =
+        match Page_table.lookup pmap.Pmap.pt vpn with
+        | Some old -> old.Page_table.pfn = pfn
+        | None -> false
+      in
+      ignore (Page_table.set pmap.Pmap.pt vpn ~pfn ~prot ~wired);
+      if not already_this_frame then
+        Pv_list.insert ctx.Pmap.pv ~pfn ~pmap ~vpn;
+      (* Always invalidate the local translation: when a fault upgrades a
+         mapping's rights, the stale narrower entry would otherwise keep
+         faulting forever.  (Remote TLBs may stay temporarily inconsistent
+         in the benign, increased-rights direction — section 3.) *)
+      let tlb = Hw.Mmu.tlb ctx.Pmap.mmus.(Sim.Cpu.id cpu) in
+      Hw.Tlb.invalidate_page tlb ~space:pmap.Pmap.space_id ~vpn;
+      Sim.Cpu.raw_delay cpu ctx.Pmap.params.tlb_entry_invalidate_cost;
+      charge_pages ctx cpu 1)
+
+(* Remove all mappings in [lo, hi). *)
+let remove ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi =
+  pmap.Pmap.op_count <- pmap.Pmap.op_count + 1;
+  Shootdown.with_update ctx cpu pmap ~lo ~hi
+    ~may_be_inconsistent:(fun () -> range_may_be_mapped ctx cpu pmap ~lo ~hi)
+    ~update:(fun () ->
+      let cleared = ref 0 in
+      Page_table.iter_valid_range pmap.Pmap.pt ~lo ~hi (fun vpn pte ->
+          Pv_list.remove ctx.Pmap.pv ~pfn:pte.Page_table.pfn ~pmap ~vpn;
+          incr cleared);
+      (* second pass to clear (iter mutates no structure) *)
+      let vpns = ref [] in
+      Page_table.iter_valid_range pmap.Pmap.pt ~lo ~hi (fun vpn _ ->
+          vpns := vpn :: !vpns);
+      List.iter (fun vpn -> ignore (Page_table.clear pmap.Pmap.pt vpn)) !vpns;
+      charge_pages ctx cpu !cleared)
+
+(* Reduce (or raise) the protection of every mapping in [lo, hi).
+   Reductions require consistency actions; pure increases do not (a stale
+   entry with fewer rights merely causes a spurious, recoverable fault —
+   the benign direction of section 3's technique 3). *)
+let protect ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi ~prot =
+  pmap.Pmap.op_count <- pmap.Pmap.op_count + 1;
+  if prot = Addr.Prot_none then remove ctx cpu pmap ~lo ~hi
+  else begin
+    let reduces () =
+      let found = ref false in
+      Page_table.iter_valid_range pmap.Pmap.pt ~lo ~hi (fun _ pte ->
+          if Addr.prot_reduces ~from:pte.Page_table.prot ~to_:prot then
+            found := true);
+      !found
+    in
+    Shootdown.with_update ctx cpu pmap ~lo ~hi
+      ~may_be_inconsistent:(fun () ->
+        range_may_be_mapped ctx cpu pmap ~lo ~hi && reduces ())
+      ~update:(fun () ->
+        let touched = ref 0 in
+        Page_table.iter_valid_range pmap.Pmap.pt ~lo ~hi (fun _ pte ->
+            pte.Page_table.prot <- prot;
+            incr touched);
+        charge_pages ctx cpu !touched)
+  end
+
+(* Lower the protection of (or remove) every mapping of a physical page —
+   the pageout daemon's hammer. *)
+let page_protect ctx (cpu : Sim.Cpu.t) ~pfn ~prot =
+  let mappings = Pv_list.mappings ctx.Pmap.pv ~pfn in
+  List.iter
+    (fun { Pv_list.pv_pmap = pmap; pv_vpn = vpn } ->
+      if prot = Addr.Prot_none then remove ctx cpu pmap ~lo:vpn ~hi:(vpn + 1)
+      else protect ctx cpu pmap ~lo:vpn ~hi:(vpn + 1) ~prot)
+    mappings
+
+(* Was the page referenced/modified according to the hardware bits? *)
+let reference_bits ctx ~pfn =
+  List.fold_left
+    (fun (r, m) { Pv_list.pv_pmap = pmap; pv_vpn = vpn } ->
+      match Page_table.lookup pmap.Pmap.pt vpn with
+      | Some pte -> (r || pte.Page_table.referenced, m || pte.Page_table.modified)
+      | None -> (r, m))
+    (false, false)
+    (Pv_list.mappings ctx.Pmap.pv ~pfn)
+
+let clear_reference_bits ctx ~pfn =
+  List.iter
+    (fun { Pv_list.pv_pmap = pmap; pv_vpn = vpn } ->
+      match Page_table.lookup pmap.Pmap.pt vpn with
+      | Some pte ->
+          pte.Page_table.referenced <- false;
+          pte.Page_table.modified <- false
+      | None -> ())
+    (Pv_list.mappings ctx.Pmap.pv ~pfn)
+
+(* What does the pmap currently map at [vpn]?  (Diagnostics and tests;
+   the machine-independent VM never needs to ask.) *)
+let extract (pmap : Pmap.t) ~vpn =
+  match Page_table.lookup pmap.Pmap.pt vpn with
+  | Some pte -> Some (pte.Page_table.pfn, pte.Page_table.prot)
+  | None -> None
+
+(* Throw away the pmap's page tables; they are rebuilt by page faults
+   (extreme lazy evaluation — "pmaps can even be destroyed at runtime"). *)
+let collect ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) =
+  let lo, hi = Pmap.vpn_bounds pmap in
+  remove ctx cpu pmap ~lo ~hi;
+  Page_table.destroy pmap.Pmap.pt
+
+(* Destroy a dead address space's pmap. *)
+let destroy ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) =
+  if pmap.Pmap.destroyed then invalid_arg "Pmap_ops.destroy: already dead";
+  collect ctx cpu pmap;
+  pmap.Pmap.destroyed <- true

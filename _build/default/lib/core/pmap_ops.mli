@@ -1,0 +1,56 @@
+(** The pmap operations invoked by the machine-independent VM system
+    (paper section 2).  Operations that can leave stale rights in a remote
+    TLB run under {!Shootdown.with_update}, with the lazy-evaluation check
+    as the inconsistency predicate. *)
+
+val enter :
+  Pmap.ctx ->
+  Sim.Cpu.t ->
+  Pmap.t ->
+  vpn:Hw.Addr.vpn ->
+  pfn:Hw.Addr.pfn ->
+  prot:Hw.Addr.prot ->
+  wired:bool ->
+  unit
+(** Install a mapping.  Entering over an existing different mapping first
+    behaves like a removal (consistency actions if needed); entering into
+    an empty slot needs none — TLBs never cache invalid translations. *)
+
+val remove : Pmap.ctx -> Sim.Cpu.t -> Pmap.t -> lo:Hw.Addr.vpn -> hi:Hw.Addr.vpn -> unit
+(** Remove all mappings in [lo, hi). *)
+
+val protect :
+  Pmap.ctx ->
+  Sim.Cpu.t ->
+  Pmap.t ->
+  lo:Hw.Addr.vpn ->
+  hi:Hw.Addr.vpn ->
+  prot:Hw.Addr.prot ->
+  unit
+(** Change protection across a range.  Reductions require consistency
+    actions; [Prot_none] behaves as {!remove}. *)
+
+val page_protect : Pmap.ctx -> Sim.Cpu.t -> pfn:Hw.Addr.pfn -> prot:Hw.Addr.prot -> unit
+(** Reduce (or remove) every mapping of a physical page, via the pv lists
+    — the pageout daemon's operation. *)
+
+val reference_bits : Pmap.ctx -> pfn:Hw.Addr.pfn -> bool * bool
+(** (referenced, modified) across all mappings of the frame. *)
+
+val clear_reference_bits : Pmap.ctx -> pfn:Hw.Addr.pfn -> unit
+
+val extract : Pmap.t -> vpn:Hw.Addr.vpn -> (Hw.Addr.pfn * Hw.Addr.prot) option
+(** Current hardware mapping at [vpn], if any (diagnostics/tests). *)
+
+val collect : Pmap.ctx -> Sim.Cpu.t -> Pmap.t -> unit
+(** Throw away the pmap's page tables; page faults rebuild them (extreme
+    lazy evaluation — "pmaps can even be destroyed at runtime"). *)
+
+val destroy : Pmap.ctx -> Sim.Cpu.t -> Pmap.t -> unit
+(** Tear down a dead address space's pmap.
+    @raise Invalid_argument if already destroyed. *)
+
+val range_may_be_mapped :
+  Pmap.ctx -> Sim.Cpu.t -> Pmap.t -> lo:Hw.Addr.vpn -> hi:Hw.Addr.vpn -> bool
+(** The lazy-evaluation check (full per-page scan when [lazy_check], the
+    residual chunk-structure check otherwise); charges the scan cost. *)

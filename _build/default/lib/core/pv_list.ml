@@ -1,0 +1,32 @@
+(* Physical-to-virtual lists: for every physical frame, the set of
+   (pmap, virtual page) pairs currently mapping it.  This is how
+   pmap_page_protect — the pageout path — finds every mapping of a page it
+   is about to steal. *)
+
+module Addr = Hw.Addr
+
+type 'pmap entry = { pv_pmap : 'pmap; pv_vpn : Addr.vpn }
+
+type 'pmap t = { table : (int, 'pmap entry list) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 512 }
+
+let insert t ~pfn ~pmap ~vpn =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.table pfn) in
+  Hashtbl.replace t.table pfn ({ pv_pmap = pmap; pv_vpn = vpn } :: existing)
+
+let remove t ~pfn ~pmap ~vpn =
+  match Hashtbl.find_opt t.table pfn with
+  | None -> ()
+  | Some entries ->
+      let entries =
+        List.filter
+          (fun e -> not (e.pv_pmap == pmap && e.pv_vpn = vpn))
+          entries
+      in
+      if entries = [] then Hashtbl.remove t.table pfn
+      else Hashtbl.replace t.table pfn entries
+
+let mappings t ~pfn = Option.value ~default:[] (Hashtbl.find_opt t.table pfn)
+
+let mapping_count t ~pfn = List.length (mappings t ~pfn)

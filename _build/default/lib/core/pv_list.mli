@@ -1,0 +1,12 @@
+(** Physical-to-virtual lists: for every frame, the (pmap, virtual page)
+    pairs currently mapping it — how pmap_page_protect (the pageout path)
+    finds every mapping of a page it is about to steal. *)
+
+type 'pmap entry = { pv_pmap : 'pmap; pv_vpn : Hw.Addr.vpn }
+type 'pmap t
+
+val create : unit -> 'pmap t
+val insert : 'pmap t -> pfn:int -> pmap:'pmap -> vpn:Hw.Addr.vpn -> unit
+val remove : 'pmap t -> pfn:int -> pmap:'pmap -> vpn:Hw.Addr.vpn -> unit
+val mappings : 'pmap t -> pfn:int -> 'pmap entry list
+val mapping_count : 'pmap t -> pfn:int -> int

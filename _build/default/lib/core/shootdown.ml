@@ -1,0 +1,404 @@
+(* The Mach TLB shootdown algorithm (paper section 4, Figure 1).
+
+   [with_update] is the initiator: it wraps a pmap modification with the
+   four-phase protocol — queue consistency actions and interrupt the
+   processors using the pmap (phase 1), wait for them to acknowledge by
+   leaving the active set (phase 2), perform the modification (phase 3),
+   and unlock so the responders drain their action queues and rejoin the
+   active set (phase 4).
+
+   [responder] is the interrupt service routine, and [idle_check] is the
+   hook the idle loop runs so that idle processors — which are never sent
+   shootdown interrupts — still execute queued actions before becoming
+   active.
+
+   The same entry point also implements the alternative consistency
+   policies used as baselines: Timer_flush (section 3, technique 2),
+   Hw_remote (section 9, MC88200-style remote invalidation) and
+   No_consistency (for the failure-detection tests). *)
+
+module Addr = Hw.Addr
+module Page_table = Hw.Page_table
+module Mmu = Hw.Mmu
+module Tlb = Hw.Tlb
+module Xpr = Instrument.Xpr
+
+(* ------------------------------------------------------------------ *)
+(* TLB invalidation: below the threshold invalidate entries one at a
+   time, above it flush the whole buffer (omitted detail 1 of Figure 1). *)
+
+let invalidate_local ctx (cpu : Sim.Cpu.t) ~space ~lo ~hi =
+  let params = ctx.Pmap.params in
+  let tlb = Mmu.tlb ctx.Pmap.mmus.(Sim.Cpu.id cpu) in
+  let pages = hi - lo in
+  if pages >= params.tlb_flush_threshold then begin
+    Tlb.flush_all tlb;
+    Sim.Cpu.raw_delay cpu params.tlb_flush_cost
+  end
+  else begin
+    Tlb.invalidate_range tlb ~space ~lo ~hi;
+    Sim.Cpu.raw_delay cpu
+      (params.tlb_entry_invalidate_cost *. float_of_int pages)
+  end
+
+let perform_action ctx (cpu : Sim.Cpu.t) = function
+  | Action.Invalidate_range { space; lo; hi } ->
+      let params = ctx.Pmap.params in
+      if params.tlb_asid_tagged then begin
+        (* Tagged TLBs may hold entries for spaces that are not the
+           current one; flush the whole space when it is foreign
+           (section 10's suggested responder change). *)
+        let current =
+          match ctx.Pmap.current_user.(Sim.Cpu.id cpu) with
+          | Some p -> p.Pmap.space_id
+          | None -> -1
+        in
+        if space <> 0 && space <> current then begin
+          Tlb.flush_space (Mmu.tlb ctx.Pmap.mmus.(Sim.Cpu.id cpu)) ~space;
+          Sim.Cpu.raw_delay cpu params.tlb_flush_cost
+        end
+        else invalidate_local ctx cpu ~space ~lo ~hi
+      end
+      else invalidate_local ctx cpu ~space ~lo ~hi
+  | Action.Flush_space space ->
+      Tlb.flush_space (Mmu.tlb ctx.Pmap.mmus.(Sim.Cpu.id cpu)) ~space;
+      Sim.Cpu.raw_delay cpu ctx.Pmap.params.tlb_flush_cost
+
+(* Drain this CPU's action queue (queue lock held by callee).  Returns
+   [true] if any drained action targeted the kernel pmap, for attributing
+   responder time in the measurements. *)
+let process_queued_actions ctx (cpu : Sim.Cpu.t) =
+  let id = Sim.Cpu.id cpu in
+  let q = ctx.Pmap.queues.(id) in
+  let saved = Sim.Spinlock.acquire q.Action.lock cpu in
+  let work = Action.drain q in
+  ctx.Pmap.action_needed.(id) <- false;
+  Sim.Spinlock.release q.Action.lock cpu ~saved_ipl:saved;
+  match work with
+  | `Flush_everything ->
+      Tlb.flush_all (Mmu.tlb ctx.Pmap.mmus.(id));
+      Sim.Cpu.raw_delay cpu ctx.Pmap.params.tlb_flush_cost;
+      true
+  | `Actions actions ->
+      List.iter (perform_action ctx cpu) actions;
+      List.exists
+        (function
+          | Action.Invalidate_range { space; _ } | Action.Flush_space space ->
+              space = 0)
+        actions
+
+(* ------------------------------------------------------------------ *)
+(* Responders (phases 2 and 4). *)
+
+(* With software-reloaded TLBs whose ref/mod updates cannot corrupt a
+   mid-update pmap (interlocked, or writeback eliminated), responders can
+   invalidate and return immediately instead of stalling: the reload
+   handler performs any necessary stall itself (section 9). *)
+let responder_must_stall (params : Sim.Params.t) =
+  match params.Sim.Params.tlb_reload with
+  | Sim.Params.Software_reload
+    when params.Sim.Params.tlb_interlocked_refmod
+         || not params.Sim.Params.tlb_refmod_writeback ->
+      false
+  | Sim.Params.Software_reload | Sim.Params.Hardware_reload -> true
+
+let relevant_pmap_locked ctx (cpu : Sim.Cpu.t) =
+  let id = Sim.Cpu.id cpu in
+  Sim.Spinlock.is_locked ctx.Pmap.kernel_pmap.Pmap.lock
+  || (match ctx.Pmap.current_user.(id) with
+     | Some p -> Sim.Spinlock.is_locked p.Pmap.lock
+     | None -> false)
+  || List.exists
+       (fun (p : Pmap.t) ->
+         p.Pmap.in_use.(id) && Sim.Spinlock.is_locked p.Pmap.lock)
+       ctx.Pmap.kernel_pool_pmaps
+
+(* The shootdown interrupt service routine.  A single activation services
+   every shootdown in progress (the while loop), which is also why further
+   shootdown interrupts are blocked while it runs. *)
+let responder ctx (cpu : Sim.Cpu.t) =
+  let id = Sim.Cpu.id cpu in
+  ctx.Pmap.shoot_phase.(id) <- "responding";
+  Shoot_trace.record ctx ~code:Shoot_trace.c_resp_enter ~cpu:id ();
+  let entered = Sim.Cpu.now cpu in
+  let saved = Sim.Cpu.set_ipl cpu Sim.Interrupt.ipl_high in
+  (* Rejoin the set we were found in: an interrupt caught by an idle
+     processor (raced against going idle) must not mark it active, or a
+     later initiator would wait forever for an ack the idle loop never
+     gives. *)
+  let was_active = ctx.Pmap.active.(id) in
+  let touched_kernel = ref false in
+  let did_work = ref false in
+  while ctx.Pmap.action_needed.(id) do
+    did_work := true;
+    (* Phase 2: acknowledge by leaving the active set, then spin until no
+       relevant pmap is being updated.  (Figure 1 prints this condition
+       with &&; the prose of phases 2-4 and the production sources require
+       ||, which is what we implement — see DESIGN.md.) *)
+    ctx.Pmap.active.(id) <- false;
+    Sim.Bus.access ctx.Pmap.bus ();
+    cpu.Sim.Cpu.note <- "responder-spin";
+    Shoot_trace.record ctx ~code:Shoot_trace.c_resp_ack ~cpu:id ();
+    if responder_must_stall ctx.Pmap.params then
+      while relevant_pmap_locked ctx cpu do
+        Sim.Cpu.spin_poll_masked cpu
+      done;
+    (* Phase 4: drain the queued invalidations and rejoin. *)
+    Shoot_trace.record ctx ~code:Shoot_trace.c_resp_drain ~cpu:id ();
+    if process_queued_actions ctx cpu then touched_kernel := true;
+    ctx.Pmap.active.(id) <- was_active;
+    Sim.Bus.access ctx.Pmap.bus ()
+  done;
+  ctx.Pmap.shoot_phase.(id) <- "responded";
+  if !did_work then
+    Shoot_trace.record ctx ~code:Shoot_trace.c_resp_done ~cpu:id ();
+  Sim.Cpu.restore_ipl cpu saved;
+  let elapsed = Sim.Cpu.now cpu -. entered in
+  ctx.Pmap.shootdown_responder_time <- ctx.Pmap.shootdown_responder_time +. elapsed;
+  (* Spurious activations (the action was already drained by the idle
+     check before the interrupt landed) are not responses to anything and
+     are not recorded. *)
+  if !did_work && id < ctx.Pmap.params.responder_sample_cpus then
+    Xpr.record ctx.Pmap.xpr ~code:Xpr.Shoot_responder ~cpu:id
+      ~timestamp:(Sim.Cpu.now cpu)
+      ~arg1:(if !touched_kernel then 1 else 0)
+      ~farg:elapsed ()
+
+(* Idle processors are not interrupted, but must execute queued actions
+   before (re)joining the active set; the scheduler's idle loop calls this
+   before dispatching a thread. *)
+let idle_check ctx (cpu : Sim.Cpu.t) =
+  let id = Sim.Cpu.id cpu in
+  if ctx.Pmap.action_needed.(id) then begin
+    let saved = Sim.Cpu.set_ipl cpu Sim.Interrupt.ipl_high in
+    while ctx.Pmap.action_needed.(id) do
+      cpu.Sim.Cpu.note <- "idle-check-spin";
+      while relevant_pmap_locked ctx cpu do
+        Sim.Cpu.spin_poll_masked cpu
+      done;
+      ignore (process_queued_actions ctx cpu)
+    done;
+    Shoot_trace.record ctx ~code:Shoot_trace.c_idle_drain ~cpu:id ();
+    cpu.Sim.Cpu.note <- "idle-check-done";
+    Sim.Cpu.restore_ipl cpu saved
+  end
+
+(* Wire the responder into every CPU's interrupt dispatch. *)
+let install ctx =
+  Array.iter
+    (fun cpu -> cpu.Sim.Cpu.shootdown_handler <- (fun c -> responder ctx c))
+    ctx.Pmap.cpus
+
+(* ------------------------------------------------------------------ *)
+(* Initiator. *)
+
+let send_ipis ctx (cpu : Sim.Cpu.t) targets =
+  let params = ctx.Pmap.params in
+  let eng = ctx.Pmap.eng in
+  let me = Sim.Cpu.id cpu in
+  let post target =
+    Shoot_trace.record ctx ~code:Shoot_trace.c_ipi_sent ~cpu:me
+      ~arg2:(Sim.Cpu.id target) ();
+    Sim.Engine.after eng params.ipi_latency (fun () ->
+        Sim.Cpu.post target Sim.Interrupt.Shootdown)
+  in
+  match params.ipi_mode with
+  | Sim.Params.Unicast ->
+      List.iter
+        (fun target ->
+          Sim.Cpu.raw_delay cpu params.ipi_send_cost;
+          Sim.Bus.access ctx.Pmap.bus ();
+          ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + 1;
+          post target)
+        targets
+  | Sim.Params.Multicast ->
+      if targets <> [] then begin
+        Sim.Cpu.raw_delay cpu params.ipi_send_cost;
+        Sim.Bus.access ctx.Pmap.bus ();
+        ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + List.length targets;
+        List.iter post targets
+      end
+  | Sim.Params.Broadcast ->
+      if targets <> [] then begin
+        Sim.Cpu.raw_delay cpu params.ipi_send_cost;
+        Sim.Bus.access ctx.Pmap.bus ();
+        (* every other CPU is interrupted, wanted or not *)
+        Array.iter
+          (fun (target : Sim.Cpu.t) ->
+            if Sim.Cpu.id target <> Sim.Cpu.id cpu then begin
+              ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + 1;
+              post target
+            end)
+          ctx.Pmap.cpus
+      end
+
+(* The Mach shootdown initiator proper (phases 1-3). Caller holds the pmap
+   lock and has decided an inconsistency is possible. *)
+let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi ~pages ~started =
+  let params = ctx.Pmap.params in
+  let me = Sim.Cpu.id cpu in
+  ctx.Pmap.shootdowns_initiated <- ctx.Pmap.shootdowns_initiated + 1;
+  (* Local TLB first: the initiator's own buffer may hold the mapping. *)
+  if pmap.Pmap.in_use.(me) then
+    invalidate_local ctx cpu ~space:pmap.Pmap.space_id ~lo ~hi;
+  Shoot_trace.record ctx ~code:Shoot_trace.c_initiator_start ~cpu:me ();
+  let shot_at = ref 0 in
+  if Pmap.other_users ctx pmap ~me then begin
+    (* Phase 1: queue actions for every user of the pmap; interrupt the
+       non-idle ones (idle processors get actions but no interrupt). *)
+    let shoot_list = ref [] in
+    Array.iter
+      (fun (other : Sim.Cpu.t) ->
+        let oid = Sim.Cpu.id other in
+        if oid <> me && pmap.Pmap.in_use.(oid) then begin
+          let q = ctx.Pmap.queues.(oid) in
+          let saved = Sim.Spinlock.acquire q.Action.lock cpu in
+          Action.enqueue q
+            (Action.Invalidate_range { space = pmap.Pmap.space_id; lo; hi });
+          ctx.Pmap.action_needed.(oid) <- true;
+          Sim.Cpu.raw_delay cpu params.queue_action_cost;
+          (* the action record and flag are uncached remote writes *)
+          Sim.Bus.access ctx.Pmap.bus ~n:4 ();
+          Shoot_trace.record ctx ~code:Shoot_trace.c_queue_action ~cpu:me
+            ~arg2:oid ();
+          Sim.Spinlock.release q.Action.lock cpu ~saved_ipl:saved;
+          if not other.Sim.Cpu.idle then begin
+            incr shot_at;
+            (* omitted detail 3: skip CPUs with an interrupt already
+               pending — they will service our action anyway *)
+            if not (Sim.Cpu.pending_interrupt other Sim.Interrupt.Shootdown)
+            then shoot_list := other :: !shoot_list
+          end
+        end)
+      ctx.Pmap.cpus;
+    let shoot_list = List.rev !shoot_list in
+    send_ipis ctx cpu shoot_list;
+    (* Phase 2 barrier: wait for every interrupted processor to leave the
+       active set or stop using the pmap.  When responders need not stall
+       (software-reloaded TLB with safe ref/mod, section 9), they rejoin
+       the active set immediately after invalidating, so the initiator
+       instead waits for the queued action to have been processed. *)
+    let acked =
+      if responder_must_stall params then fun oid ->
+        (not ctx.Pmap.active.(oid)) || not pmap.Pmap.in_use.(oid)
+      else fun oid ->
+        (not ctx.Pmap.action_needed.(oid)) || not pmap.Pmap.in_use.(oid)
+    in
+    List.iter
+      (fun (other : Sim.Cpu.t) ->
+        let oid = Sim.Cpu.id other in
+        cpu.Sim.Cpu.note <- Printf.sprintf "await-ack:%d" oid;
+        while not (acked oid) do
+          Sim.Cpu.spin_poll_masked cpu
+        done)
+      shoot_list;
+    Shoot_trace.record ctx ~code:Shoot_trace.c_barrier_done ~cpu:me ()
+  end;
+  let elapsed = Sim.Cpu.now cpu -. started in
+  (* A shootdown event proper requires somebody to shoot at; invocations
+     that found no other processor using the pmap only did local work. *)
+  if !shot_at > 0 then begin
+    ctx.Pmap.shootdown_initiator_time <-
+      ctx.Pmap.shootdown_initiator_time +. elapsed;
+    Xpr.record ctx.Pmap.xpr ~code:Xpr.Shoot_initiator ~cpu:me
+      ~timestamp:(Sim.Cpu.now cpu)
+      ~arg1:(if pmap.Pmap.is_kernel then 1 else 0)
+      ~arg2:pages ~arg3:!shot_at ~farg:elapsed ()
+  end
+
+(* MC88200-style hardware remote invalidation (section 9): the initiator
+   shoots entries directly out of remote TLBs; no interrupts, no barrier.
+   Requires an MMU whose ref/mod updates are interlocked. *)
+let hw_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi =
+  let params = ctx.Pmap.params in
+  Array.iter
+    (fun (other : Sim.Cpu.t) ->
+      let oid = Sim.Cpu.id other in
+      if pmap.Pmap.in_use.(oid) then begin
+        let tlb = Mmu.tlb ctx.Pmap.mmus.(oid) in
+        let pages = hi - lo in
+        if pages >= params.tlb_flush_threshold then
+          Tlb.flush_space tlb ~space:pmap.Pmap.space_id
+        else Tlb.invalidate_range tlb ~space:pmap.Pmap.space_id ~lo ~hi;
+        (* one bus invalidation transaction per page (or one for a flush) *)
+        let n = min pages params.tlb_flush_threshold in
+        Sim.Cpu.raw_delay cpu (params.tlb_entry_invalidate_cost *. float_of_int n);
+        Sim.Bus.access ctx.Pmap.bus ~n ()
+      end)
+    ctx.Pmap.cpus
+
+(* ------------------------------------------------------------------ *)
+(* The initiator entry point used by every pmap operation.
+
+   [may_be_inconsistent] decides — under the pmap lock — whether the update
+   can leave stale rights in any TLB (it embodies the lazy-evaluation
+   check).  [update] performs the actual page-table modification. *)
+let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
+    ~may_be_inconsistent ~update =
+  let params = ctx.Pmap.params in
+  let me = Sim.Cpu.id cpu in
+  match params.consistency with
+  | Sim.Params.No_consistency | Sim.Params.Deferred_free _ ->
+      (* Local invalidation only; remote TLBs are left inconsistent.  For
+         Deferred_free the safety comes from the VM layer quarantining
+         freed frames until every TLB has flushed — sufficient only under
+         System V restrictions (section 10, Thompson et al.). *)
+      let saved = Sim.Spinlock.acquire pmap.Pmap.lock cpu in
+      if may_be_inconsistent () && pmap.Pmap.in_use.(me) then
+        invalidate_local ctx cpu ~space:pmap.Pmap.space_id ~lo ~hi;
+      update ();
+      Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved
+  | Sim.Params.Timer_flush period ->
+      let saved = Sim.Spinlock.acquire pmap.Pmap.lock cpu in
+      let inconsistent = may_be_inconsistent () in
+      if inconsistent && pmap.Pmap.in_use.(me) then
+        invalidate_local ctx cpu ~space:pmap.Pmap.space_id ~lo ~hi;
+      update ();
+      Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
+      (* Technique 2 (section 3): every CPU flushes its TLB on a periodic
+         timer; the changed mapping may not be relied upon until a full
+         period has elapsed.  The cost is this delay. *)
+      if inconsistent && Pmap.other_users ctx pmap ~me then
+        Sim.Cpu.step cpu period
+  | Sim.Params.Hw_remote ->
+      (* Section 9: change the page tables first, then shoot the entries
+         out of every TLB.  A hardware reload racing the update reads the
+         already-final PTE; a stale cached entry is destroyed before the
+         operation returns.  (Requires interlocked ref/mod writeback, as
+         on the MC88200 — a stale writeback during the window must not
+         blindly corrupt the updated PTE.) *)
+      let saved = Sim.Spinlock.acquire pmap.Pmap.lock cpu in
+      let inconsistent = may_be_inconsistent () in
+      update ();
+      if inconsistent then hw_remote_invalidate ctx cpu pmap ~lo ~hi;
+      Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved
+  | Sim.Params.Shootdown ->
+      (* Figure 1: disable interrupts and leave the active set first, so a
+         concurrent initiator shooting at us cannot deadlock with our wait
+         (we will service its actions when we re-enable interrupts). *)
+      let s = Sim.Cpu.set_ipl cpu Sim.Interrupt.ipl_high in
+      let was_active = ctx.Pmap.active.(me) in
+      ctx.Pmap.active.(me) <- false;
+      ctx.Pmap.shoot_phase.(me) <- "acquiring:" ^ pmap.Pmap.pname;
+      let saved = Sim.Spinlock.acquire pmap.Pmap.lock cpu in
+      ctx.Pmap.shoot_phase.(me) <- "locked:" ^ pmap.Pmap.pname;
+      (* The measured "invocation" starts here: the paper's elapsed time
+         runs from entering the algorithm to being able to change the
+         pmap, including the fixed bookkeeping below. *)
+      let started = Sim.Cpu.now cpu in
+      Sim.Cpu.raw_delay cpu params.shoot_entry_cost;
+      let inconsistent = may_be_inconsistent () in
+      if inconsistent then begin
+        ctx.Pmap.shoot_phase.(me) <- "shooting:" ^ pmap.Pmap.pname;
+        shoot ctx cpu pmap ~lo ~hi ~pages:(hi - lo) ~started
+      end
+      else ctx.Pmap.shootdowns_skipped_lazy <- ctx.Pmap.shootdowns_skipped_lazy + 1;
+      (* Phase 3: the pmap change itself. *)
+      ctx.Pmap.shoot_phase.(me) <- "updating:" ^ pmap.Pmap.pname;
+      update ();
+      Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
+      if inconsistent then
+        Shoot_trace.record ctx ~code:Shoot_trace.c_update_done ~cpu:me ();
+      ctx.Pmap.shoot_phase.(me) <- "done";
+      ctx.Pmap.active.(me) <- was_active;
+      Sim.Cpu.restore_ipl cpu s

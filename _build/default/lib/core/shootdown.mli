@@ -1,0 +1,51 @@
+(** The Mach TLB shootdown algorithm (paper section 4, Figure 1), plus the
+    alternative consistency policies used as baselines.
+
+    The protocol, in four phases:
+    + the {e initiator} queues consistency actions for every processor
+      using the pmap and interrupts the non-idle ones;
+    + the {e responders} acknowledge by leaving the active set and spin
+      while any relevant pmap is locked;
+    + the initiator, once every interrupted processor has acknowledged or
+      stopped using the pmap, performs the page-table update;
+    + on unlock, the responders drain their action queues (invalidating
+      TLB entries or flushing) and rejoin the active set. *)
+
+val with_update :
+  Pmap.ctx ->
+  Sim.Cpu.t ->
+  Pmap.t ->
+  lo:Hw.Addr.vpn ->
+  hi:Hw.Addr.vpn ->
+  may_be_inconsistent:(unit -> bool) ->
+  update:(unit -> unit) ->
+  unit
+(** Wrap a pmap modification of pages [lo, hi) in the consistency protocol
+    selected by [Params.consistency].  [may_be_inconsistent] is evaluated
+    under the pmap lock and embodies the lazy-evaluation check; [update]
+    performs the page-table change (phase 3). *)
+
+val responder : Pmap.ctx -> Sim.Cpu.t -> unit
+(** The shootdown interrupt service routine (phases 2 and 4).  Installed
+    by {!install}; exposed for tests. *)
+
+val idle_check : Pmap.ctx -> Sim.Cpu.t -> unit
+(** Idle processors are never interrupted but must drain queued actions
+    before becoming active; the scheduler's idle loop calls this. *)
+
+val install : Pmap.ctx -> unit
+(** Wire {!responder} into every CPU's shootdown-interrupt dispatch. *)
+
+val responder_must_stall : Sim.Params.t -> bool
+(** Whether responders must spin until the pmap update completes: false
+    only for software-reloaded TLBs with safe ref/mod handling
+    (section 9). *)
+
+val invalidate_local :
+  Pmap.ctx -> Sim.Cpu.t -> space:int -> lo:Hw.Addr.vpn -> hi:Hw.Addr.vpn -> unit
+(** Invalidate translations in the calling CPU's own TLB, choosing between
+    per-entry invalidates and a full flush by [Params.tlb_flush_threshold]. *)
+
+val process_queued_actions : Pmap.ctx -> Sim.Cpu.t -> bool
+(** Drain this CPU's consistency-action queue; [true] if any drained
+    action targeted the kernel pmap. *)

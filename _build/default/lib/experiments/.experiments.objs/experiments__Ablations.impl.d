@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Buffer Float Instrument Int64 List Printf Sim Vm Workloads

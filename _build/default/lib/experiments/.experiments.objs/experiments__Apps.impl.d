@@ -1,0 +1,1 @@
+lib/experiments/apps.ml: Sim Workloads

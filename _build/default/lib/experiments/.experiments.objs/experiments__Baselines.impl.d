@@ -1,0 +1,1 @@
+lib/experiments/baselines.ml: Array Hw Instrument List Printf Sim Vm Workloads

@@ -1,0 +1,1 @@
+lib/experiments/figure2.ml: Buffer Bytes Float Instrument Int64 List Printf Sim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/overhead.ml: Apps Buffer Float Instrument List Printf Sim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/pools.ml: Array Core Hw Instrument List Printf Sim Vm

@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Instrument Int64 List Printf Sim Workloads

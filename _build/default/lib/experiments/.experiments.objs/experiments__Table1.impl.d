@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Apps Instrument List Printf Sim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Apps Float Instrument List Printf Workloads

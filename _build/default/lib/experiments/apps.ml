@@ -1,0 +1,47 @@
+(* One instrumented run of each evaluation application (section 5.2), from
+   which Tables 2, 3 and 4 and the section 8 overhead analysis are all
+   derived — mirroring the paper, which collected one data set and sliced
+   it three ways.
+
+   [scale] shrinks the workloads for quick test runs. *)
+
+type t = {
+  mach : Workloads.Driver.report;
+  parthenon : Workloads.Driver.report;
+  agora : Workloads.Driver.report;
+  camelot : Workloads.Driver.report;
+}
+
+let scaled_mach scale =
+  let c = Workloads.Mach_build.default_config in
+  { c with Workloads.Mach_build.jobs = max 4 (c.Workloads.Mach_build.jobs * scale / 100) }
+
+let scaled_parthenon scale =
+  let c = Workloads.Parthenon.default_config in
+  {
+    c with
+    Workloads.Parthenon.runs = max 1 (c.Workloads.Parthenon.runs * scale / 100);
+    max_items = max 30 (c.Workloads.Parthenon.max_items * scale / 100);
+  }
+
+let scaled_agora scale =
+  let c = Workloads.Agora.default_config in
+  { c with Workloads.Agora.runs = max 1 (c.Workloads.Agora.runs * scale / 100) }
+
+let scaled_camelot scale =
+  let c = Workloads.Camelot.default_config in
+  {
+    c with
+    Workloads.Camelot.transactions =
+      max 20 (c.Workloads.Camelot.transactions * scale / 100);
+  }
+
+let run ?(scale = 100) ?(params = Sim.Params.production) () =
+  {
+    mach = Workloads.Mach_build.run ~params ~cfg:(scaled_mach scale) ();
+    parthenon = Workloads.Parthenon.run ~params ~cfg:(scaled_parthenon scale) ();
+    agora = Workloads.Agora.run ~params ~cfg:(scaled_agora scale) ();
+    camelot = Workloads.Camelot.run ~params ~cfg:(scaled_camelot scale) ();
+  }
+
+let all t = [ t.mach; t.parthenon; t.agora; t.camelot ]

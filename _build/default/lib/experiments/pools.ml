@@ -1,0 +1,142 @@
+(* Section 8's restructuring proposal, made measurable.
+
+   The paper warns that kernel-pmap shootdowns — which involve every
+   active processor — scale linearly and "might" become a problem at a
+   few hundred processors, and proposes to "divide both the processors
+   and the kernel virtual address space into pools that mirror the
+   non-uniform memory structure ... most kernel pmap shootdowns occur
+   within pools of processors instead of across the entire machine."
+
+   This experiment builds exactly that on a large simulated machine: the
+   pageable kernel memory is split into per-pool maps whose pmaps are in
+   use only on their pool's processors, so freeing pool-local kernel
+   memory shoots only the pool.  Machine-wide shootdowns (the unpooled
+   kernel pmap) are measured side by side. *)
+
+module Addr = Hw.Addr
+module Stats = Instrument.Stats
+module Summary = Instrument.Summary
+module Tablefmt = Instrument.Tablefmt
+module Pmap = Core.Pmap
+module Pmap_ops = Core.Pmap_ops
+
+type row = {
+  label : string;
+  involved : int; (* processors shot at *)
+  initiator_mean : float;
+  ops : int;
+}
+
+type t = { ncpus : int; rows : row list }
+
+(* Enter [pages] mappings into [pmap] starting at [vpn] (so the following
+   remove genuinely needs consistency work), then remove them; repeat. *)
+let churn ctx cpu (pmap : Pmap.t) ~vpn ~pages ~iterations mem =
+  let frames = Array.init pages (fun _ -> Hw.Phys_mem.alloc_frame mem) in
+  for _ = 1 to iterations do
+    Array.iteri
+      (fun i pfn ->
+        Pmap_ops.enter ctx cpu pmap ~vpn:(vpn + i) ~pfn
+          ~prot:Addr.Prot_read_write ~wired:true)
+      frames;
+    Pmap_ops.remove ctx cpu pmap ~lo:vpn ~hi:(vpn + pages)
+  done;
+  Array.iter (fun pfn -> Hw.Phys_mem.free_frame mem pfn) frames
+
+let run ?(ncpus = 48) ?(pool_sizes = [ 8; 16 ]) ?(iterations = 6) () =
+  let params =
+    {
+      Sim.Params.default with
+      ncpus;
+      seed = 505L;
+      (* big machine: interconnect scaled like the Scaling experiment *)
+      bus_service =
+        Sim.Params.default.Sim.Params.bus_service *. 16.0 /. float_of_int ncpus;
+    }
+  in
+  let machine = Vm.Machine.create ~params () in
+  let ctx = machine.Vm.Machine.ctx in
+  let vms = machine.Vm.Machine.vms in
+  let sched = machine.Vm.Machine.sched in
+  let rows = ref [] in
+  Vm.Machine.run ~bound:0 machine (fun self ->
+      (* keep every processor busy, as in a loaded NUMA machine *)
+      let stop = ref false in
+      let spinners =
+        List.init (ncpus - 1) (fun i ->
+            Sim.Sched.create_thread sched ~bound:(i + 1)
+              ~name:(Printf.sprintf "busy%d" i) (fun th ->
+                while not !stop do
+                  Sim.Cpu.kernel_step (Sim.Sched.current_cpu th) 400.0
+                done))
+      in
+      Sim.Sched.sleep sched self 2_000.0;
+      let kvpn = Addr.vpn_of_addr Addr.kernel_base + 4096 in
+      let measure label pmap ~vpn =
+        let before = List.length (Summary.initiators machine.Vm.Machine.xpr) in
+        churn ctx (Sim.Sched.current_cpu self) pmap ~vpn ~pages:2 ~iterations
+          machine.Vm.Machine.mem;
+        let events =
+          List.filteri
+            (fun i _ -> i >= before)
+            (Summary.initiators machine.Vm.Machine.xpr)
+        in
+        rows :=
+          {
+            label;
+            involved =
+              int_of_float (Stats.mean (Summary.processors_of events) +. 0.5);
+            initiator_mean = Stats.mean (Summary.elapsed_of events);
+            ops = List.length events;
+          }
+          :: !rows
+      in
+      (* machine-wide: the ordinary kernel pmap, in use everywhere *)
+      measure "machine-wide kernel" ctx.Pmap.kernel_pmap ~vpn:kvpn;
+      (* pooled: a kernel sub-pmap in use only on the pool's processors *)
+      List.iteri
+        (fun pi pool ->
+          let pool_pmap =
+            Pmap.create_pmap ctx ~name:(Printf.sprintf "kpool%d" pool)
+          in
+          for c = 0 to ncpus - 1 do
+            pool_pmap.Pmap.in_use.(c) <- c < pool
+          done;
+          (* responders on pool members must stall on this pmap's lock,
+             exactly as they do on the kernel pmap *)
+          ctx.Pmap.kernel_pool_pmaps <-
+            pool_pmap :: ctx.Pmap.kernel_pool_pmaps;
+          measure
+            (Printf.sprintf "pool of %d" pool)
+            pool_pmap
+            ~vpn:(kvpn + (512 * (pi + 1))))
+        pool_sizes;
+      stop := true;
+      List.iter (fun th -> Sim.Sched.join sched self th) spinners);
+  ignore vms;
+  { ncpus; rows = List.rev !rows }
+
+let render t =
+  let table =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "Section 8 proposal: pool-structured kernel memory on a %d-CPU \
+            machine"
+           t.ncpus)
+      ~headers:[ "kernel memory"; "procs shot at"; "initiator mean (us)" ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row table
+        [
+          r.label;
+          string_of_int r.involved;
+          Printf.sprintf "%.0f" r.initiator_mean;
+        ])
+    t.rows;
+  Tablefmt.render table
+  ^ "\nConfining pageable kernel memory to processor pools turns \
+     machine-wide kernel\nshootdowns into pool-sized ones — the \
+     restructuring the paper prescribes for\nmachines where the ~1% kernel \
+     overhead would otherwise grow to 10% or more.\n"

@@ -1,0 +1,114 @@
+(* Table 1: effect of lazy evaluation on shootdowns.
+
+   The Mach build and Parthenon are each run twice — with the lazy
+   per-page validity check enabled and disabled — and the table reports
+   the shootdown event counts and mean initiator times for each, exactly
+   as in the paper.  (The reduced lazy evaluation that comes from the
+   page-table chunk structure remains in both configurations, as it did
+   in the paper's kernel.)  The paper's numbers: Mach 8091 events at
+   1185 us without lazy evaluation vs 3827 at 1020 us with it (a ~60 %
+   total-overhead reduction); Parthenon 107/4 kernel events and, most
+   strikingly, 70 -> 0 user shootdowns from the cthreads stack-guard
+   reprotect, saving ~0.8 ms per thread start. *)
+
+module Stats = Instrument.Stats
+module Summary = Instrument.Summary
+module Tablefmt = Instrument.Tablefmt
+
+type cell = {
+  kernel_events : int;
+  kernel_avg : float;
+  user_events : int;
+  user_avg : float;
+  total_overhead : float; (* events x avg, kernel + user, us *)
+}
+
+type t = {
+  mach_off : cell;
+  mach_on : cell;
+  parthenon_off : cell;
+  parthenon_on : cell;
+}
+
+let cell_of_report (r : Workloads.Driver.report) =
+  let ke = Summary.elapsed_of r.Workloads.Driver.kernel_initiators in
+  let ue = Summary.elapsed_of r.Workloads.Driver.user_initiators in
+  {
+    kernel_events = List.length ke;
+    kernel_avg = Stats.mean ke;
+    user_events = List.length ue;
+    user_avg = Stats.mean ue;
+    total_overhead =
+      List.fold_left ( +. ) 0.0 ke +. List.fold_left ( +. ) 0.0 ue;
+  }
+
+let run ?(scale = 100) ?(params = Sim.Params.production) () =
+  let with_lazy v = { params with Sim.Params.lazy_check = v } in
+  let mach lazy_on =
+    cell_of_report
+      (Workloads.Mach_build.run ~params:(with_lazy lazy_on)
+         ~cfg:(Apps.scaled_mach scale) ())
+  in
+  let parthenon lazy_on =
+    cell_of_report
+      (Workloads.Parthenon.run ~params:(with_lazy lazy_on)
+         ~cfg:(Apps.scaled_parthenon scale) ())
+  in
+  {
+    mach_off = mach false;
+    mach_on = mach true;
+    parthenon_off = parthenon false;
+    parthenon_on = parthenon true;
+  }
+
+let overhead_reduction ~off ~on_ =
+  if off.total_overhead <= 0.0 then 0.0
+  else 100.0 *. (1.0 -. (on_.total_overhead /. off.total_overhead))
+
+let render t =
+  let table =
+    Tablefmt.create
+      ~title:"Table 1: Effect of Lazy Evaluation on Shootdowns"
+      ~headers:
+        [ "Application"; "Mach"; "Mach"; "Parthenon"; "Parthenon" ]
+  in
+  let f = Printf.sprintf in
+  Tablefmt.add_row table [ "Lazy"; "No"; "Yes"; "No"; "Yes" ];
+  Tablefmt.add_row table
+    [
+      "Kernel Events";
+      string_of_int t.mach_off.kernel_events;
+      string_of_int t.mach_on.kernel_events;
+      string_of_int t.parthenon_off.kernel_events;
+      string_of_int t.parthenon_on.kernel_events;
+    ];
+  Tablefmt.add_row table
+    [
+      "Avg. Time";
+      Tablefmt.us t.mach_off.kernel_avg;
+      Tablefmt.us t.mach_on.kernel_avg;
+      Tablefmt.us t.parthenon_off.kernel_avg;
+      Tablefmt.us t.parthenon_on.kernel_avg;
+    ];
+  Tablefmt.add_row table
+    [
+      "User Events";
+      string_of_int t.mach_off.user_events;
+      string_of_int t.mach_on.user_events;
+      string_of_int t.parthenon_off.user_events;
+      string_of_int t.parthenon_on.user_events;
+    ];
+  Tablefmt.add_row table
+    [
+      "Avg. Time";
+      Tablefmt.us t.mach_off.user_avg;
+      Tablefmt.us t.mach_on.user_avg;
+      Tablefmt.us t.parthenon_off.user_avg;
+      Tablefmt.us t.parthenon_on.user_avg;
+    ];
+  Tablefmt.render table
+  ^ f
+      "\nlazy evaluation cuts total shootdown overhead by %.0f%% (Mach \
+       build) and %.0f%% (Parthenon)\npaper: ~60%% and >97%%\n"
+      (overhead_reduction ~off:t.mach_off ~on_:t.mach_on)
+      (overhead_reduction ~off:t.parthenon_off ~on_:t.parthenon_on)

@@ -1,0 +1,58 @@
+(* Table 3: user-pmap shootdown results, initiator side.
+
+   Only Camelot causes user-pmap shootdowns — the Mach build does not
+   share memory between tasks, Parthenon's only candidates are eliminated
+   by lazy evaluation, and Agora's sharing is write-once — so, as in the
+   paper, this table has a single column.  Typical events involve a
+   single page (the commit-time write-protect of a dirtied page of the
+   recoverable segment). *)
+
+module Stats = Instrument.Stats
+module Summary = Instrument.Summary
+module Tablefmt = Instrument.Tablefmt
+
+type t = {
+  events : int;
+  summary : Stats.summary;
+  pages_mean : float;
+  procs_mean : float;
+  others_silent : bool; (* the other three apps really had none *)
+}
+
+let of_apps (a : Apps.t) =
+  let inits = a.Apps.camelot.Workloads.Driver.user_initiators in
+  let elapsed = Summary.elapsed_of inits in
+  let others_silent =
+    List.for_all
+      (fun (r : Workloads.Driver.report) ->
+        r.Workloads.Driver.user_initiators = [])
+      [ a.Apps.mach; a.Apps.parthenon; a.Apps.agora ]
+  in
+  {
+    events = List.length inits;
+    summary = Stats.summarize elapsed;
+    pages_mean = Stats.mean (Summary.pages_of inits);
+    procs_mean = Stats.mean (Summary.processors_of inits);
+    others_silent;
+  }
+
+let render t =
+  let table =
+    Tablefmt.create ~title:"Table 3: User Pmap Shootdown Results: Initiator"
+      ~headers:[ ""; "Camelot" ]
+  in
+  Tablefmt.add_row table [ "Events"; string_of_int t.events ];
+  Tablefmt.add_row table
+    [ "Mean Time"; Tablefmt.mean_std t.summary.Stats.mean t.summary.Stats.std ];
+  Tablefmt.add_row table [ "Median"; Tablefmt.us t.summary.Stats.median ];
+  Tablefmt.add_row table [ "10th Pctile"; Tablefmt.us t.summary.Stats.p10 ];
+  Tablefmt.add_row table [ "90th Pctile"; Tablefmt.us t.summary.Stats.p90 ];
+  Tablefmt.add_row table
+    [ "Pages (mean)"; Printf.sprintf "%.1f" t.pages_mean ];
+  Tablefmt.add_row table
+    [ "Procs (mean)"; Printf.sprintf "%.1f" t.procs_mean ];
+  Tablefmt.render table
+  ^ Printf.sprintf
+      "\nother applications caused no user shootdowns: %b (paper: same)\n\
+       paper: Camelot mean 588\xc2\xb1591, typically 1 page\n"
+      t.others_silent

@@ -1,0 +1,1 @@
+lib/hw/mmu.ml: Addr Page_table Phys_mem Sim Tlb

@@ -1,0 +1,1 @@
+lib/hw/mmu.mli: Addr Page_table Phys_mem Sim Tlb

@@ -1,0 +1,148 @@
+(* Per-CPU memory-management unit: translation through the TLB with
+   hardware (or software) reload from the current page tables, protection
+   checks against the *cached* entry (so stale entries really do grant
+   stale rights — the inconsistency the paper is about), and asynchronous
+   reference/modify-bit writeback. *)
+
+type space = { space_id : int; pt : Page_table.t }
+
+type fault_kind =
+  | Fault_missing (* no valid translation *)
+  | Fault_protection (* translation exists but denies the access *)
+  | Fault_no_space (* no address space active for this range *)
+
+type fault = { va : Addr.addr; access : Addr.access; kind : fault_kind }
+
+type t = {
+  cpu : Sim.Cpu.t;
+  mem : Phys_mem.t;
+  tlb : Tlb.t;
+  params : Sim.Params.t;
+  mutable kernel : space option;
+  mutable user : space option;
+  (* Software-reload hook (Params.Software_reload): installed by the pmap
+     layer; may stall while the relevant pmap is being modified. *)
+  mutable software_reload : (space -> Addr.vpn -> Page_table.pte option) option;
+  (* Hazard accounting: blind ref/mod writebacks that hit a PTE which was
+     no longer a valid mapping of the same frame — page-table corruption
+     on real hardware. *)
+  mutable corrupting_writebacks : int;
+  mutable reloads : int;
+}
+
+let create cpu mem (params : Sim.Params.t) =
+  {
+    cpu;
+    mem;
+    tlb = Tlb.create ~size:params.tlb_size;
+    params;
+    kernel = None;
+    user = None;
+    software_reload = None;
+    corrupting_writebacks = 0;
+    reloads = 0;
+  }
+
+let set_kernel t sp = t.kernel <- Some sp
+let set_user t sp = t.user <- sp
+let tlb t = t.tlb
+
+let space_for t va = if Addr.is_kernel_addr va then t.kernel else t.user
+
+(* Write the modify (or reference) bit back into the source PTE.  Without
+   interlocking this is a blind write: if the OS has invalidated or reused
+   the PTE since the entry was loaded, the write corrupts it — the reason
+   responders must stall while a pmap is updated (section 3). *)
+let writeback_refmod t (e : Tlb.entry) ~set_mod =
+  if t.params.tlb_refmod_writeback then begin
+    Sim.Bus.access t.cpu.Sim.Cpu.bus ();
+    let stale = not e.pte.Page_table.valid || e.pte.Page_table.pfn <> e.pfn in
+    if t.params.tlb_interlocked_refmod then begin
+      (* MC88200-style: interlocked read-modify-write that checks mapping
+         validity; a stale entry causes a fault instead of a blind write. *)
+      if not stale then begin
+        e.pte.Page_table.referenced <- true;
+        if set_mod then e.pte.Page_table.modified <- true
+      end
+    end
+    else begin
+      if stale then t.corrupting_writebacks <- t.corrupting_writebacks + 1;
+      e.pte.Page_table.referenced <- true;
+      if set_mod then e.pte.Page_table.modified <- true
+    end
+  end
+
+(* Load a translation into the TLB.  Hardware reload walks the page tables
+   with no regard for any software locks — which is why flushing before a
+   pmap change is futile (the entry can come right back). *)
+let reload t sp vpn =
+  t.reloads <- t.reloads + 1;
+  match t.params.tlb_reload with
+  | Sim.Params.Hardware_reload ->
+      Sim.Cpu.raw_delay t.cpu t.params.ptw_cost;
+      Sim.Bus.access t.cpu.Sim.Cpu.bus ~n:2 ();
+      Page_table.lookup sp.pt vpn
+  | Sim.Params.Software_reload -> (
+      (* Trap to the kernel's reload handler; it may stall while the pmap
+         is locked.  Roughly 4x the cost of a hardware walk. *)
+      Sim.Cpu.raw_delay t.cpu (4.0 *. t.params.ptw_cost);
+      Sim.Bus.access t.cpu.Sim.Cpu.bus ~n:2 ();
+      match t.software_reload with
+      | Some f -> f sp vpn
+      | None -> Page_table.lookup sp.pt vpn)
+
+let rec translate t ~va ~access =
+  match space_for t va with
+  | None -> Error { va; access; kind = Fault_no_space }
+  | Some sp -> (
+      let vpn = Addr.vpn_of_addr va in
+      match Tlb.lookup t.tlb ~space:sp.space_id ~vpn with
+      | Some e ->
+          (* The *cached* protection gates the access. *)
+          if Addr.prot_allows e.prot access then begin
+            if access = Addr.Write_access && not e.mod_bit then begin
+              e.mod_bit <- true;
+              e.ref_bit <- true;
+              writeback_refmod t e ~set_mod:true
+            end
+            else if not e.ref_bit then begin
+              e.ref_bit <- true;
+              writeback_refmod t e ~set_mod:false
+            end;
+            Ok e.pfn
+          end
+          else Error { va; access; kind = Fault_protection }
+      | None -> (
+          match reload t sp vpn with
+          | Some pte when pte.Page_table.valid ->
+              let e =
+                {
+                  Tlb.space = sp.space_id;
+                  vpn;
+                  pfn = pte.Page_table.pfn;
+                  prot = pte.Page_table.prot;
+                  ref_bit = false;
+                  mod_bit = false;
+                  pte;
+                }
+              in
+              Tlb.insert t.tlb e;
+              translate t ~va ~access
+          | Some _ | None -> Error { va; access; kind = Fault_missing }))
+
+let read_word t va =
+  match translate t ~va ~access:Addr.Read_access with
+  | Ok pfn -> Ok (Phys_mem.read t.mem ~pfn ~offset:(Addr.page_offset va))
+  | Error f -> Error f
+
+let write_word t va v =
+  match translate t ~va ~access:Addr.Write_access with
+  | Ok pfn ->
+      Phys_mem.write t.mem ~pfn ~offset:(Addr.page_offset va) v;
+      Ok ()
+  | Error f -> Error f
+
+(* Touch a page (reference it for its side effects on TLB state) without
+   caring about the data. *)
+let touch t va ~access =
+  match translate t ~va ~access with Ok _ -> Ok () | Error f -> Error f

@@ -1,0 +1,153 @@
+(* Two-level page tables in the style of the NS32382 MMU.
+
+   Second-level tables are allocated lazily in page-sized chunks; a missing
+   chunk proves that 1024 consecutive pages have no mappings, which is the
+   "internal pmap module knowledge" form of lazy evaluation that the paper
+   notes survives even when the per-page validity check is disabled
+   (section 7.2). *)
+
+type pte = {
+  mutable valid : bool;
+  mutable pfn : Addr.pfn;
+  mutable prot : Addr.prot;
+  mutable wired : bool;
+  mutable referenced : bool;
+  mutable modified : bool;
+}
+
+let invalid_pte () =
+  {
+    valid = false;
+    pfn = -1;
+    prot = Addr.Prot_none;
+    wired = false;
+    referenced = false;
+    modified = false;
+  }
+
+type t = {
+  root : pte array option array; (* 1024 first-level slots *)
+  mutable valid_ptes : int; (* number of valid entries, for cheap emptiness *)
+  mutable l2_tables : int;
+}
+
+let create () = { root = Array.make 1024 None; valid_ptes = 0; l2_tables = 0 }
+
+let valid_count t = t.valid_ptes
+let l2_table_count t = t.l2_tables
+
+(* Look up without allocating; [None] when the covering second-level chunk
+   or the entry itself is absent/invalid. *)
+let lookup t vpn =
+  match t.root.(Addr.l1_index vpn) with
+  | None -> None
+  | Some l2 ->
+      let pte = l2.(Addr.l2_index vpn) in
+      if pte.valid then Some pte else None
+
+(* The raw slot, valid or not (used by the MMU's interlocked ref/mod
+   writeback, which must observe invalid entries). *)
+let slot t vpn =
+  match t.root.(Addr.l1_index vpn) with
+  | None -> None
+  | Some l2 -> Some l2.(Addr.l2_index vpn)
+
+let ensure_slot t vpn =
+  let i1 = Addr.l1_index vpn in
+  let l2 =
+    match t.root.(i1) with
+    | Some l2 -> l2
+    | None ->
+        let l2 = Array.init 1024 (fun _ -> invalid_pte ()) in
+        t.root.(i1) <- Some l2;
+        t.l2_tables <- t.l2_tables + 1;
+        l2
+  in
+  l2.(Addr.l2_index vpn)
+
+(* Install or replace a mapping. *)
+let set t vpn ~pfn ~prot ~wired =
+  let pte = ensure_slot t vpn in
+  if not pte.valid then t.valid_ptes <- t.valid_ptes + 1;
+  pte.valid <- true;
+  pte.pfn <- pfn;
+  pte.prot <- prot;
+  pte.wired <- wired;
+  pte.referenced <- false;
+  pte.modified <- false;
+  pte
+
+let clear t vpn =
+  match lookup t vpn with
+  | None -> None
+  | Some pte ->
+      pte.valid <- false;
+      t.valid_ptes <- t.valid_ptes - 1;
+      Some pte
+
+(* Iterate over the *valid* entries of a vpn range, skipping 1024-page
+   chunks whose second-level table was never allocated. *)
+let iter_valid_range t ~lo ~hi f =
+  let vpn = ref lo in
+  while !vpn < hi do
+    match t.root.(Addr.l1_index !vpn) with
+    | None ->
+        (* skip to the next second-level chunk *)
+        vpn := (Addr.l1_index !vpn + 1) lsl 10
+    | Some l2 ->
+        let chunk_end = ((Addr.l1_index !vpn + 1) lsl 10) - 1 in
+        let stop = min hi (chunk_end + 1) in
+        while !vpn < stop do
+          let pte = l2.(Addr.l2_index !vpn) in
+          if pte.valid then f !vpn pte;
+          incr vpn
+        done
+  done
+
+(* Count valid entries in a range (the lazy-evaluation check). *)
+let count_valid_range t ~lo ~hi =
+  let n = ref 0 in
+  iter_valid_range t ~lo ~hi (fun _ _ -> incr n);
+  !n
+
+let any_valid_in_range t ~lo ~hi =
+  let found = ref false in
+  (try
+     iter_valid_range t ~lo ~hi (fun _ _ ->
+         found := true;
+         raise Exit)
+   with Exit -> ());
+  !found
+
+(* Is any second-level chunk present under [lo, hi)?  This is the reduced
+   lazy evaluation that remains even when the per-page validity check is
+   disabled: a missing chunk proves 1024 pages are unmapped (section 7.2). *)
+let any_chunk_in_range t ~lo ~hi =
+  let c1 = Addr.l1_index lo and c2 = Addr.l1_index (hi - 1) in
+  let rec go c =
+    if c > c2 then false
+    else match t.root.(c) with Some _ -> true | None -> go (c + 1)
+  in
+  hi > lo && go c1
+
+(* Pages actually examined by a per-page validity scan of [lo, hi), i.e.
+   pages under present chunks (missing chunks are skipped in one step). *)
+let pages_examined t ~lo ~hi =
+  let n = ref 0 in
+  let c1 = Addr.l1_index lo and c2 = Addr.l1_index (hi - 1) in
+  if hi > lo then
+    for c = c1 to c2 do
+      match t.root.(c) with
+      | None -> ()
+      | Some _ ->
+          let chunk_lo = max lo (c lsl 10) in
+          let chunk_hi = min hi ((c + 1) lsl 10) in
+          n := !n + (chunk_hi - chunk_lo)
+    done;
+  !n
+
+(* Release all second-level chunks (pmap destruction). *)
+let destroy t =
+  Array.iteri (fun i _ -> t.root.(i) <- None) t.root;
+  t.valid_ptes <- 0;
+  t.l2_tables <- 0

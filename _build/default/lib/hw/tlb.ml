@@ -1,0 +1,130 @@
+(* The translation lookaside buffer.
+
+   Entries are tagged with a space (pmap) identifier.  On hardware without
+   address-space tags the operating system flushes user entries at context
+   switch; with Params.tlb_asid_tagged the flush is omitted and entries
+   from many spaces coexist (MIPS-style, section 10).
+
+   Each entry remembers the page-table entry it was loaded from, which is
+   how the asynchronous reference/modify-bit writeback hazard of section 3
+   is modelled: a stale TLB entry can write those bits back into a PTE the
+   OS has since reused. *)
+
+type entry = {
+  space : int;
+  vpn : Addr.vpn;
+  pfn : Addr.pfn;
+  prot : Addr.prot; (* the *cached* protection — may go stale *)
+  mutable ref_bit : bool;
+  mutable mod_bit : bool;
+  pte : Page_table.pte; (* source PTE, target of ref/mod writeback *)
+}
+
+type t = {
+  size : int;
+  slots : entry option array;
+  mutable fifo_next : int;
+  (* statistics *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+  mutable single_invalidates : int;
+}
+
+let create ~size =
+  {
+    size;
+    slots = Array.make size None;
+    fifo_next = 0;
+    hits = 0;
+    misses = 0;
+    flushes = 0;
+    single_invalidates = 0;
+  }
+
+let lookup t ~space ~vpn =
+  let found = ref None in
+  for i = 0 to t.size - 1 do
+    match t.slots.(i) with
+    | Some e when e.space = space && e.vpn = vpn -> found := Some e
+    | Some _ | None -> ()
+  done;
+  (match !found with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  !found
+
+(* FIFO replacement, as on simple hardware of the period. *)
+let insert t entry =
+  (* Replace an existing translation for the same page, if any. *)
+  let existing = ref None in
+  for i = 0 to t.size - 1 do
+    match t.slots.(i) with
+    | Some e when e.space = entry.space && e.vpn = entry.vpn ->
+        existing := Some i
+    | Some _ | None -> ()
+  done;
+  let slot =
+    match !existing with
+    | Some i -> i
+    | None ->
+        let i = t.fifo_next in
+        t.fifo_next <- (t.fifo_next + 1) mod t.size;
+        i
+  in
+  t.slots.(slot) <- Some entry
+
+let invalidate_page t ~space ~vpn =
+  for i = 0 to t.size - 1 do
+    match t.slots.(i) with
+    | Some e when e.space = space && e.vpn = vpn ->
+        t.slots.(i) <- None;
+        t.single_invalidates <- t.single_invalidates + 1
+    | Some _ | None -> ()
+  done
+
+let invalidate_range t ~space ~lo ~hi =
+  for i = 0 to t.size - 1 do
+    match t.slots.(i) with
+    | Some e when e.space = space && e.vpn >= lo && e.vpn < hi ->
+        t.slots.(i) <- None;
+        t.single_invalidates <- t.single_invalidates + 1
+    | Some _ | None -> ()
+  done
+
+let flush_all t =
+  Array.fill t.slots 0 t.size None;
+  t.flushes <- t.flushes + 1
+
+let flush_space t ~space =
+  for i = 0 to t.size - 1 do
+    match t.slots.(i) with
+    | Some e when e.space = space -> t.slots.(i) <- None
+    | Some _ | None -> ()
+  done;
+  t.flushes <- t.flushes + 1
+
+(* Flush every non-kernel entry (context switch on untagged hardware). *)
+let flush_user t ~kernel_space =
+  for i = 0 to t.size - 1 do
+    match t.slots.(i) with
+    | Some e when e.space <> kernel_space -> t.slots.(i) <- None
+    | Some _ | None -> ()
+  done;
+  t.flushes <- t.flushes + 1
+
+let entries t =
+  Array.fold_left
+    (fun acc s -> match s with Some e -> e :: acc | None -> acc)
+    [] t.slots
+
+let has_space t ~space =
+  Array.exists
+    (fun s -> match s with Some e -> e.space = space | None -> false)
+    t.slots
+
+let resident t = List.length (entries t)
+let hits t = t.hits
+let misses t = t.misses
+let flushes t = t.flushes
+let single_invalidates t = t.single_invalidates

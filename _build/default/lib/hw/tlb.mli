@@ -1,0 +1,45 @@
+(** The translation lookaside buffer: space-tagged entries, FIFO
+    replacement, per-entry invalidation and whole-buffer flushes.  Each
+    entry remembers the PTE it was loaded from, which is how the
+    asynchronous reference/modify-bit writeback hazard of paper section 3
+    is modelled. *)
+
+type entry = {
+  space : int; (** pmap identifier; 0 is the kernel *)
+  vpn : Addr.vpn;
+  pfn : Addr.pfn;
+  prot : Addr.prot; (** the {e cached} protection — may go stale *)
+  mutable ref_bit : bool;
+  mutable mod_bit : bool;
+  pte : Page_table.pte; (** source PTE, target of ref/mod writeback *)
+}
+
+type t
+
+val create : size:int -> t
+
+val lookup : t -> space:int -> vpn:Addr.vpn -> entry option
+(** Also counts hit/miss statistics. *)
+
+val insert : t -> entry -> unit
+(** FIFO replacement; an existing translation for the same page is
+    replaced in place. *)
+
+val invalidate_page : t -> space:int -> vpn:Addr.vpn -> unit
+val invalidate_range : t -> space:int -> lo:Addr.vpn -> hi:Addr.vpn -> unit
+val flush_all : t -> unit
+val flush_space : t -> space:int -> unit
+
+val flush_user : t -> kernel_space:int -> unit
+(** Flush every non-kernel entry (context switch on untagged hardware). *)
+
+val entries : t -> entry list
+val has_space : t -> space:int -> bool
+val resident : t -> int
+
+(** {2 Statistics} *)
+
+val hits : t -> int
+val misses : t -> int
+val flushes : t -> int
+val single_invalidates : t -> int

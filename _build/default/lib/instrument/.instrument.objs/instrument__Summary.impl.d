@@ -1,0 +1,1 @@
+lib/instrument/summary.ml: List Xpr

@@ -1,0 +1,1 @@
+lib/instrument/tablefmt.ml: Array Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/instrument/xpr.ml: Array List Printf

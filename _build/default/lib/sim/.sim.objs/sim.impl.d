@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Bus Cpu Engine Heap Interrupt Params Prng Sched Spinlock Sync

@@ -1,0 +1,1 @@
+lib/sim/bus.ml: Engine Params

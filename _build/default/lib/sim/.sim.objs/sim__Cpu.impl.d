@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Bus Engine Float Int64 Interrupt Params Prng

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Hashtbl Heap Option Printf Prng

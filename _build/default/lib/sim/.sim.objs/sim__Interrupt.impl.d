@@ -1,0 +1,1 @@
+lib/sim/interrupt.ml: List Params

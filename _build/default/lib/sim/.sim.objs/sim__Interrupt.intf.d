@@ -1,0 +1,1 @@
+lib/sim/interrupt.mli: Params

@@ -1,0 +1,1 @@
+lib/sim/sched.ml: Array Cpu Engine List Params Printf Queue

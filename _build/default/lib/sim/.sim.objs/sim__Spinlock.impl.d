@@ -1,0 +1,1 @@
+lib/sim/spinlock.ml: Bus Cpu Interrupt Params Printf

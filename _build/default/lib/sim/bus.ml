@@ -1,0 +1,59 @@
+(* The Multimax shared memory bus, modelled as a single FCFS server.
+
+   Every synchronization-related memory reference (spinlock operations,
+   action-queue writes, interrupt state saves through the write-through
+   caches, page-table walks) is a transaction.  Queueing behind a busy bus
+   is what produces the congestion knee above ~12 processors in Figure 2 —
+   it is emergent, not hard-coded. *)
+
+type t = {
+  eng : Engine.t;
+  service : float; (* us per transaction *)
+  mutable busy_until : float;
+  mutable transactions : int;
+  mutable total_wait : float; (* accumulated queueing delay *)
+  mutable total_busy : float; (* accumulated service time *)
+}
+
+let create eng (params : Params.t) =
+  {
+    eng;
+    service = params.bus_service;
+    busy_until = 0.0;
+    transactions = 0;
+    total_wait = 0.0;
+    total_busy = 0.0;
+  }
+
+(* Perform [n] back-to-back transactions; the caller's coroutine is delayed
+   for queueing plus service time. *)
+let access t ?(n = 1) () =
+  if n > 0 then begin
+    let now = Engine.now t.eng in
+    let start = if t.busy_until > now then t.busy_until else now in
+    let service = t.service *. float_of_int n in
+    t.busy_until <- start +. service;
+    t.transactions <- t.transactions + n;
+    t.total_wait <- t.total_wait +. (start -. now);
+    t.total_busy <- t.total_busy +. service;
+    Engine.delay (t.busy_until -. now)
+  end
+
+(* Consume bus bandwidth without delaying any coroutine — used for DMA-like
+   background traffic. *)
+let post_async t ~n =
+  if n > 0 then begin
+    let now = Engine.now t.eng in
+    let start = if t.busy_until > now then t.busy_until else now in
+    let service = t.service *. float_of_int n in
+    t.busy_until <- start +. service;
+    t.transactions <- t.transactions + n;
+    t.total_busy <- t.total_busy +. service
+  end
+
+let transactions t = t.transactions
+let total_wait t = t.total_wait
+let total_busy t = t.total_busy
+
+let utilization t ~elapsed =
+  if elapsed <= 0.0 then 0.0 else t.total_busy /. elapsed

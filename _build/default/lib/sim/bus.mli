@@ -1,0 +1,20 @@
+(** Shared-memory bus modelled as a single FCFS server.
+
+    Transactions queue; the resulting delays reproduce the bus congestion
+    the paper observes above ~12 busy processors. *)
+
+type t
+
+val create : Engine.t -> Params.t -> t
+
+val access : t -> ?n:int -> unit -> unit
+(** [access t ~n ()] performs [n] transactions from the calling coroutine,
+    delaying it for queueing plus service time. *)
+
+val post_async : t -> n:int -> unit
+(** Consume bandwidth without blocking the caller (DMA-like traffic). *)
+
+val transactions : t -> int
+val total_wait : t -> float
+val total_busy : t -> float
+val utilization : t -> elapsed:float -> float

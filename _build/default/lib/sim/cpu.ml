@@ -1,0 +1,230 @@
+(* A simulated processor.
+
+   A CPU is not itself a coroutine: whichever coroutine currently executes
+   on the CPU (a thread, or the per-CPU idle loop) advances time through
+   [step]/[spin_poll]/[raw_delay] and thereby also takes the CPU's pending
+   interrupts.  Interrupt handlers run inline in that coroutine, exactly as
+   an interrupt service routine borrows the interrupted context on real
+   hardware. *)
+
+type t = {
+  id : int;
+  eng : Engine.t;
+  bus : Bus.t;
+  params : Params.t;
+  prng : Prng.t;
+  ctl : Interrupt.controller;
+  mutable ipl : Interrupt.level;
+  mutable sleeper : Engine.wakener option; (* current interruptible sleep *)
+  mutable idle : bool;
+  mutable in_interrupt : bool;
+  mutable shootdown_handler : t -> unit;
+  mutable device_handler : t -> unit;
+  (* accounting *)
+  mutable busy_time : float;
+  mutable interrupts_taken : int;
+  mutable spin_time : float;
+  mutable store_backlog : float; (* fractional store-traffic accumulator *)
+  mutable note : string; (* diagnostic: what this CPU is currently doing *)
+}
+
+let id t = t.id
+let now t = Engine.now t.eng
+let params t = t.params
+
+(* Multiplicative cost noise; models cycle-level nondeterminism. *)
+let jittered t cost =
+  if t.params.cost_jitter <= 0.0 then cost
+  else cost *. Prng.jitter t.prng t.params.cost_jitter
+
+(* Advance time without checking interrupts: used inside handlers and
+   explicitly-disabled regions. *)
+let raw_delay t cost =
+  let cost = jittered t cost in
+  t.busy_time <- t.busy_time +. cost;
+  Engine.delay cost
+
+(* Advance time interruptibly: if an interrupt is posted mid-sleep, the
+   sleep is cut short so the handler's latency is the dispatch cost, not
+   the remaining sleep. *)
+let interruptible_sleep t dt =
+  let eng = t.eng in
+  Engine.suspend (fun w ->
+      t.sleeper <- Some w;
+      Engine.after eng dt (fun () -> Engine.wake eng w));
+  t.sleeper <- None
+
+(* Interrupt nesting follows priority: inside a handler the IPL equals the
+   handler's level, so only strictly higher-priority interrupts (e.g. the
+   section 9 high-priority shootdown during a device handler) preempt. *)
+let rec check_interrupts t =
+    match Interrupt.deliverable t.ctl ~ipl:t.ipl with
+    | None -> ()
+    | Some p ->
+        Interrupt.take t.ctl p;
+        let saved_ipl = t.ipl in
+        t.ipl <- p.level;
+        let was_in_interrupt = t.in_interrupt in
+        t.in_interrupt <- true;
+        t.interrupts_taken <- t.interrupts_taken + 1;
+        (* Vectoring plus register save; the save is a burst of writes
+           through the write-through cache onto the bus. *)
+        raw_delay t t.params.intr_dispatch_cost;
+        Bus.access t.bus ~n:t.params.intr_dispatch_bus_writes ();
+        (match p.kind with
+        | Interrupt.Shootdown -> t.shootdown_handler t
+        | Interrupt.Device -> t.device_handler t);
+        raw_delay t t.params.intr_return_cost;
+        t.in_interrupt <- was_in_interrupt;
+        t.ipl <- saved_ipl;
+        (* Lowering the level may expose further pending interrupts. *)
+        check_interrupts t
+
+(* Service time that passes at a raised IPL but still lets strictly
+   higher-priority interrupts in at short intervals — how real handlers
+   and spl-protected sections behave. *)
+let masked_service t cost =
+  let remaining = ref cost in
+  while !remaining > 1e-6 do
+    let chunk = Float.min 40.0 !remaining in
+    raw_delay t chunk;
+    remaining := !remaining -. chunk;
+    check_interrupts t
+  done
+
+(* A device interrupt handler: exponential service time at device IPL,
+   preemptible by strictly higher-priority interrupts. *)
+let default_device_handler cpu =
+  masked_service cpu (Prng.exponential cpu.prng cpu.params.device_intr_service)
+
+let create eng bus (params : Params.t) ~id =
+  {
+    id;
+    eng;
+    bus;
+    params;
+    prng = Prng.create (Int64.add params.seed (Int64.of_int (0x1000 * (id + 1))));
+    ctl = Interrupt.make_controller ();
+    ipl = Interrupt.ipl_none;
+    sleeper = None;
+    idle = true;
+    in_interrupt = false;
+    shootdown_handler = (fun _ -> ());
+    device_handler = default_device_handler;
+    busy_time = 0.0;
+    interrupts_taken = 0;
+    spin_time = 0.0;
+    store_backlog = 0.0;
+    note = "boot";
+  }
+
+(* Post an interrupt to this CPU (from any coroutine).  If the CPU is in an
+   interruptible sleep and the interrupt is deliverable, cut the sleep
+   short so it is noticed immediately. *)
+let post t kind =
+  let level = Interrupt.level_of t.params kind in
+  Interrupt.post t.ctl { kind; level };
+  if level > t.ipl then
+    match t.sleeper with
+    | Some w -> Engine.wake t.eng w
+    | None -> ()
+
+let pending_interrupt t kind = Interrupt.has_pending t.ctl kind
+
+(* Advance [cost] microseconds of computation, taking deliverable
+   interrupts at slice boundaries. *)
+let step t cost =
+  check_interrupts t;
+  let cost = jittered t cost in
+  (* Track remaining *work*, not a deadline: time spent in interrupt
+     handlers does not count against the interrupted computation.  The
+     10^-6 us threshold (and the no-progress guard below) keep float
+     round-off from leaving a sub-ULP remainder that could never elapse. *)
+  let rec go remaining =
+    if remaining > 1e-6 then begin
+      let t0 = now t in
+      interruptible_sleep t remaining;
+      let elapsed = now t -. t0 in
+      if elapsed <= 0.0 then () (* below clock resolution: done *)
+      else begin
+      t.busy_time <- t.busy_time +. elapsed;
+      (* Write-through stores from this computation occupy the shared bus
+         (without stalling us): the source of multi-CPU congestion. *)
+      t.store_backlog <-
+        t.store_backlog +. (elapsed *. t.params.store_traffic_rate);
+      let stores = int_of_float t.store_backlog in
+      if stores > 0 then begin
+        t.store_backlog <- t.store_backlog -. float_of_int stores;
+        Bus.post_async t.bus ~n:stores
+      end;
+      check_interrupts t;
+      go (remaining -. elapsed)
+      end
+    end
+  in
+  go cost
+
+(* One spin-loop iteration on a shared flag.  Most polls hit the local
+   write-through cache; a fraction miss and go to the bus. *)
+let spin_poll t =
+  check_interrupts t;
+  let t0 = now t in
+  raw_delay t t.params.spin_poll;
+  if Prng.float t.prng < t.params.spin_miss_rate then Bus.access t.bus ();
+  t.spin_time <- t.spin_time +. (now t -. t0)
+
+(* Spin with interrupts implicitly disabled (no [check_interrupts]); used
+   by the shootdown algorithm whose spins occur at raised IPL. *)
+let spin_poll_masked t =
+  let t0 = now t in
+  raw_delay t t.params.spin_poll;
+  if Prng.float t.prng < t.params.spin_miss_rate then Bus.access t.bus ();
+  t.spin_time <- t.spin_time +. (now t -. t0)
+
+let set_ipl t level =
+  let old = t.ipl in
+  t.ipl <- level;
+  if level < old then check_interrupts t;
+  old
+
+let ipl t = t.ipl
+
+(* splx: restore a saved level, delivering anything it unmasks. *)
+let restore_ipl t saved =
+  t.ipl <- saved;
+  check_interrupts t
+
+(* Run [f] with all interrupts masked. *)
+let with_disabled t f =
+  let saved = set_ipl t Interrupt.ipl_high in
+  let finish () = restore_ipl t saved in
+  (try f ()
+   with e ->
+     finish ();
+     raise e);
+  finish ()
+
+(* Kernel-mode computation: like [step], but sprinkled with short sections
+   run at device IPL, modelling the kernel's widespread interrupt
+   disablement that the paper identifies as the cause of the extra latency
+   and skew of kernel-pmap shootdowns. *)
+let kernel_step t cost =
+  let rate = t.params.spl_section_rate in
+  if rate <= 0.0 then step t cost
+  else begin
+    let remaining = ref cost in
+    while !remaining > 1e-6 do
+      let until_section = Prng.exponential t.prng rate in
+      if until_section >= !remaining then begin
+        step t !remaining;
+        remaining := 0.0
+      end
+      else begin
+        step t until_section;
+        remaining := !remaining -. until_section;
+        let saved = set_ipl t Interrupt.ipl_device in
+        masked_service t (Prng.exponential t.prng t.params.spl_section_mean);
+        restore_ipl t saved
+      end
+    done
+  end

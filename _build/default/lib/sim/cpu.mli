@@ -1,0 +1,86 @@
+(** A simulated processor.
+
+    The coroutine currently executing on a CPU advances simulated time with
+    {!step}/{!spin_poll}/{!raw_delay}; pending interrupts are taken inline
+    at those points, like a real interrupt service routine borrowing the
+    interrupted context.
+
+    The record is exposed because the layers above wire themselves into it:
+    the scheduler maintains [idle], the shootdown module installs
+    [shootdown_handler], and the experiment harness reads the accounting
+    fields. *)
+
+type t = {
+  id : int;
+  eng : Engine.t;
+  bus : Bus.t;
+  params : Params.t;
+  prng : Prng.t;
+  ctl : Interrupt.controller;
+  mutable ipl : Interrupt.level;
+  mutable sleeper : Engine.wakener option;
+  mutable idle : bool; (** maintained by the scheduler's idle loop *)
+  mutable in_interrupt : bool;
+  mutable shootdown_handler : t -> unit;
+  mutable device_handler : t -> unit;
+  mutable busy_time : float;
+  mutable interrupts_taken : int;
+  mutable spin_time : float;
+  mutable store_backlog : float;
+      (** fractional accumulator for background store traffic *)
+  mutable note : string;  (** diagnostic: current activity label *)
+}
+
+val create : Engine.t -> Bus.t -> Params.t -> id:int -> t
+
+val id : t -> int
+val now : t -> float
+val params : t -> Params.t
+
+val step : t -> float -> unit
+(** Advance [cost] us of user-mode computation, taking deliverable
+    interrupts at slice boundaries. *)
+
+val kernel_step : t -> float -> unit
+(** Like {!step}, but interleaved with short interrupt-disabled sections
+    (Params.spl_section_rate), modelling kernel interrupt masking. *)
+
+val raw_delay : t -> float -> unit
+(** Advance time without checking interrupts (handler / masked context). *)
+
+val masked_service : t -> float -> unit
+(** Advance time at the current (raised) IPL, admitting strictly
+    higher-priority interrupts at short intervals. *)
+
+val spin_poll : t -> unit
+(** One busy-wait iteration; takes interrupts if unmasked. *)
+
+val spin_poll_masked : t -> unit
+(** One busy-wait iteration with interrupts implicitly masked. *)
+
+val post : t -> Interrupt.kind -> unit
+(** Post an interrupt to this CPU from any coroutine. *)
+
+val pending_interrupt : t -> Interrupt.kind -> bool
+
+val check_interrupts : t -> unit
+(** Deliver any pending, unmasked interrupts now. *)
+
+val ipl : t -> Interrupt.level
+
+val set_ipl : t -> Interrupt.level -> Interrupt.level
+(** Set the interrupt priority level; returns the previous level.
+    Lowering the level delivers anything it unmasks. *)
+
+val restore_ipl : t -> Interrupt.level -> unit
+
+val with_disabled : t -> (unit -> unit) -> unit
+(** Run with all interrupts masked. *)
+
+val jittered : t -> float -> float
+(** Apply this CPU's multiplicative cost noise to a constant. *)
+
+val default_device_handler : t -> unit
+
+val interruptible_sleep : t -> float -> unit
+(** Sleep up to [dt], returning early if an interrupt is posted. *)

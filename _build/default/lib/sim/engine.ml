@@ -1,0 +1,129 @@
+(* Discrete-event engine.
+
+   Simulated activities (CPU idle loops, threads, daemons) are coroutines
+   implemented with OCaml effects.  A coroutine performs [Delay dt] to let
+   simulated time pass, or [Suspend register] to park itself until some
+   other coroutine wakes it.  The engine owns a single event heap; running
+   the simulation is popping events in (time, seq) order until the heap
+   drains or a time limit is reached. *)
+
+exception Runaway of string
+
+type wakener = {
+  mutable fired : bool;
+  mutable resume : unit -> unit; (* schedules the parked continuation *)
+}
+
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Suspend : (wakener -> unit) -> unit Effect.t
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  mutable events : int; (* total processed, for runaway detection *)
+  mutable max_events : int;
+  heap : (string * (unit -> unit)) Heap.t;
+  prng : Prng.t;
+  mutable live : int; (* spawned coroutines not yet finished *)
+  label_counts : (string, int) Hashtbl.t; (* diagnostics *)
+}
+
+let create ?(seed = 0x5EEDL) ?(max_events = 200_000_000) () =
+  {
+    now = 0.0;
+    seq = 0;
+    events = 0;
+    max_events;
+    heap = Heap.create ~dummy:("", ignore);
+    prng = Prng.create seed;
+    live = 0;
+    label_counts = Hashtbl.create 16;
+  }
+
+let now t = t.now
+let prng t = t.prng
+let live t = t.live
+let events_processed t = t.events
+let pending t = Heap.length t.heap
+
+let at ?(label = "at") t time thunk =
+  let time = if time < t.now then t.now else time in
+  t.seq <- t.seq + 1;
+  Heap.push t.heap time t.seq (label, thunk)
+
+let after ?(label = "after") t dt thunk = at ~label t (t.now +. dt) thunk
+
+let label_counts t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.label_counts []
+
+let delay dt =
+  if dt < 0.0 then invalid_arg "Engine.delay: negative duration";
+  Effect.perform (Delay dt)
+
+let suspend register = Effect.perform (Suspend register)
+
+let wake t w =
+  if not w.fired then begin
+    w.fired <- true;
+    at ~label:"wake" t t.now w.resume
+  end
+
+let spawn t ?name fn =
+  ignore name;
+  t.live <- t.live + 1;
+  let open Effect.Deep in
+  let fiber () =
+    match_with fn ()
+      {
+        retc = (fun () -> t.live <- t.live - 1);
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Delay dt ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    after ~label:"delay" t dt (fun () -> continue k ()))
+            | Suspend register ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    let w = { fired = false; resume = ignore } in
+                    w.resume <- (fun () -> continue k ());
+                    register w)
+            | _ -> None);
+      }
+  in
+  at ~label:"spawn" t t.now fiber
+
+let step t =
+  if Heap.is_empty t.heap then false
+  else begin
+    let time, _, (label, thunk) = Heap.pop t.heap in
+    Hashtbl.replace t.label_counts label
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.label_counts label));
+    t.now <- time;
+    t.events <- t.events + 1;
+    if t.events > t.max_events then
+      raise
+        (Runaway
+           (Printf.sprintf "simulation exceeded %d events at t=%.1f"
+              t.max_events t.now));
+    thunk ();
+    true
+  end
+
+let run t =
+  while step t do
+    ()
+  done
+
+let run_until t limit =
+  let continue_ = ref true in
+  while !continue_ do
+    match Heap.peek_time t.heap with
+    | None -> continue_ := false
+    | Some time when time > limit ->
+        t.now <- limit;
+        continue_ := false
+    | Some _ -> ignore (step t)
+  done

@@ -1,0 +1,60 @@
+(** Discrete-event simulation engine.
+
+    Coroutines (OCaml effects) model CPUs, threads and daemons.  Time is a
+    [float] number of simulated microseconds — the unit used throughout the
+    paper's evaluation. *)
+
+exception Runaway of string
+(** Raised when a run exceeds its event budget (a stuck-spin backstop). *)
+
+type t
+
+type wakener
+(** One-shot handle to a parked coroutine.  Waking twice is a no-op. *)
+
+val create : ?seed:int64 -> ?max_events:int -> unit -> t
+
+val now : t -> float
+(** Current simulated time in microseconds. *)
+
+val prng : t -> Prng.t
+(** The engine's deterministic random stream. *)
+
+val live : t -> int
+(** Number of spawned coroutines that have not yet returned. *)
+
+val events_processed : t -> int
+val pending : t -> int
+
+val at : ?label:string -> t -> float -> (unit -> unit) -> unit
+(** [at t time thunk] schedules [thunk] (clamped to no earlier than now).
+    [label] is a diagnostic tag counted per processed event. *)
+
+val after : ?label:string -> t -> float -> (unit -> unit) -> unit
+
+val label_counts : t -> (string * int) list
+(** Processed-event counts by label (diagnostics). *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Start a coroutine at the current instant.  The body may perform
+    {!delay} and {!suspend}. *)
+
+val delay : float -> unit
+(** Let [dt] microseconds of simulated time pass for the calling coroutine.
+    Must be called from inside a coroutine. *)
+
+val suspend : (wakener -> unit) -> unit
+(** Park the calling coroutine.  [register] receives the wakener and must
+    arrange for {!wake} to be called eventually. *)
+
+val wake : t -> wakener -> unit
+(** Resume a parked coroutine at the current instant (idempotent). *)
+
+val step : t -> bool
+(** Process one event; [false] if the heap is empty. *)
+
+val run : t -> unit
+(** Run until no events remain. *)
+
+val run_until : t -> float -> unit
+(** Run until the clock would pass the limit; leaves later events queued. *)

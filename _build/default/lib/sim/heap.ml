@@ -1,0 +1,72 @@
+(* Binary min-heap keyed by (time, sequence number).  The sequence number
+   makes the ordering total, so events scheduled for the same instant fire
+   in FIFO order — a property the engine's determinism tests rely on. *)
+
+type 'a t = {
+  mutable data : (float * int * 'a) array;
+  mutable size : int;
+  dummy : 'a;
+}
+
+let create ~dummy = { data = Array.make 64 (0., 0, dummy); size = 0; dummy }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let key_lt (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+
+let grow h =
+  let n = Array.length h.data in
+  let data = Array.make (2 * n) (0., 0, h.dummy) in
+  Array.blit h.data 0 data 0 n;
+  h.data <- data
+
+let push h time seq v =
+  if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- (time, seq, v);
+  h.size <- h.size + 1;
+  (* sift up *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if key_lt h.data.(i) h.data.(parent) then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(parent);
+        h.data.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (h.size - 1)
+
+let pop h =
+  if h.size = 0 then invalid_arg "Heap.pop: empty";
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  h.data.(0) <- h.data.(h.size);
+  h.data.(h.size) <- (0., 0, h.dummy);
+  (* sift down *)
+  let rec down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest =
+      if l < h.size && key_lt h.data.(l) h.data.(i) then l else i
+    in
+    let smallest =
+      if r < h.size && key_lt h.data.(r) h.data.(smallest) then r
+      else smallest
+    in
+    if smallest <> i then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(smallest);
+      h.data.(smallest) <- tmp;
+      down smallest
+    end
+  in
+  down 0;
+  top
+
+let peek_time h =
+  if h.size = 0 then None
+  else
+    let t, _, _ = h.data.(0) in
+    Some t

@@ -1,0 +1,22 @@
+(** Binary min-heap of timestamped events.
+
+    Keys are [(time, seq)] pairs compared lexicographically, giving FIFO
+    order among events scheduled for the same simulated instant. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** [create ~dummy] makes an empty heap. [dummy] fills unused slots. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> int -> 'a -> unit
+(** [push h time seq v] inserts [v] with key [(time, seq)]. *)
+
+val pop : 'a t -> float * int * 'a
+(** Remove and return the minimum element.
+    @raise Invalid_argument if the heap is empty. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the next event, if any. *)

@@ -1,0 +1,55 @@
+(* Interrupt priority levels and pending-interrupt bookkeeping.
+
+   The Multimax (like most machines of its era) delivered the shootdown
+   interprocessor interrupt *below* device priority, so any kernel code
+   running with device interrupts masked delays shootdown responders; the
+   paper's section 9 proposes a software interrupt above device priority.
+   Both wirings are supported via Params.high_priority_shootdown. *)
+
+type level = int
+
+let ipl_none : level = 0 (* nothing masked *)
+let ipl_soft : level = 1 (* low-priority software interrupts *)
+let ipl_vm : level = 3 (* pmap/VM locks are taken at this level *)
+let ipl_device : level = 4 (* device interrupts masked at or above *)
+let ipl_high : level = 7 (* everything masked *)
+
+type kind =
+  | Shootdown (* TLB-consistency interprocessor interrupt *)
+  | Device (* background device interrupt *)
+
+(* The level at which a kind is delivered under the given parameters. *)
+let level_of (params : Params.t) = function
+  | Device -> ipl_device
+  | Shootdown -> if params.high_priority_shootdown then ipl_high - 1 else ipl_vm
+
+type pending = { kind : kind; level : level }
+
+(* A tiny pending set: at most one entry per kind is kept, matching real
+   interrupt controllers where a posted-but-undelivered interrupt line does
+   not stack. *)
+type controller = { mutable pending : pending list }
+
+let make_controller () = { pending = [] }
+
+let post ctl p =
+  if not (List.exists (fun q -> q.kind = p.kind) ctl.pending) then
+    ctl.pending <- p :: ctl.pending
+
+let has_pending ctl kind = List.exists (fun q -> q.kind = kind) ctl.pending
+
+(* Highest-priority pending interrupt strictly above [ipl], if any. *)
+let deliverable ctl ~ipl =
+  let best =
+    List.fold_left
+      (fun acc p ->
+        if p.level > ipl then
+          match acc with
+          | Some q when q.level >= p.level -> acc
+          | _ -> Some p
+        else acc)
+      None ctl.pending
+  in
+  best
+
+let take ctl p = ctl.pending <- List.filter (fun q -> q.kind <> p.kind) ctl.pending

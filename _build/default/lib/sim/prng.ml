@@ -1,0 +1,44 @@
+(* SplitMix64.  Small, fast, deterministic, and independent of the global
+   [Random] state — every simulation carries its own stream so that a run
+   is a pure function of its seed. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (next_int64 t)
+
+(* Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Mask to 62 bits so the value fits in a non-negative OCaml int. *)
+  let r = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+  r mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+(* Exponential with the given mean; used for Poisson inter-arrival times. *)
+let exponential t mean =
+  let u = float t in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+(* Multiplicative jitter in [1 - spread, 1 + spread]; models the cycle-level
+   noise (cache misses, DRAM refresh, bus arbitration) that gives the
+   paper's measurements their standard deviations. *)
+let jitter t spread = 1.0 +. uniform t (-.spread) spread

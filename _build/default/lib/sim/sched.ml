@@ -1,0 +1,272 @@
+(* Cooperative thread scheduler over simulated CPUs.
+
+   Each thread is its own coroutine; each CPU runs an idle-loop coroutine.
+   A CPU is a baton: the idle loop hands it to a ready thread (waking the
+   thread's parked coroutine and then parking itself), and gets it back
+   when the thread blocks, yields or exits.  Interrupts are taken by
+   whichever coroutine currently holds the CPU.
+
+   The handoff protocol is careful about lost wakeups: a thread only
+   becomes visible as Blocked/Ready from inside its suspend registration,
+   at which point its wakener is guaranteed to exist. *)
+
+type user_data = ..
+type user_data += No_data
+
+type state = Created | Ready | Running | Blocked | Finished
+
+type thread = {
+  tid : int;
+  tname : string;
+  mutable state : state;
+  mutable cpu : Cpu.t option;
+  mutable parked : Engine.wakener option;
+  bound : int option; (* pin to a CPU id *)
+  mutable data : user_data;
+  mutable joiners : thread list;
+  mutable wakeup_pending : bool;
+      (* latch for wakeups that race with blocking, like Mach's
+         thread_wakeup against a not-yet-asserted wait *)
+  mutable run_time : float; (* filled on exit from cpu accounting deltas *)
+}
+
+type t = {
+  eng : Engine.t;
+  cpus : Cpu.t array;
+  params : Params.t;
+  global_ready : thread Queue.t;
+  bound_ready : thread Queue.t array;
+  return_wakeners : Engine.wakener option array;
+  mutable tid_counter : int;
+  mutable live_threads : int;
+  mutable started_threads : int;
+  mutable pre_dispatch : Cpu.t -> unit;
+  mutable activate : thread -> Cpu.t -> unit;
+  mutable deactivate : thread -> Cpu.t -> unit;
+  mutable shutdown : bool;
+}
+
+let create eng cpus (params : Params.t) =
+  {
+    eng;
+    cpus;
+    params;
+    global_ready = Queue.create ();
+    bound_ready = Array.init (Array.length cpus) (fun _ -> Queue.create ());
+    return_wakeners = Array.make (Array.length cpus) None;
+    tid_counter = 0;
+    live_threads = 0;
+    started_threads = 0;
+    pre_dispatch = (fun _ -> ());
+    activate = (fun _ _ -> ());
+    deactivate = (fun _ _ -> ());
+    shutdown = false;
+  }
+
+let live_threads t = t.live_threads
+let cpus t = t.cpus
+let engine t = t.eng
+
+(* Wake one idle CPU that could run a newly-ready thread. *)
+let poke t ~bound =
+  let try_poke cpu =
+    if cpu.Cpu.idle then begin
+      (match cpu.Cpu.sleeper with
+      | Some w -> Engine.wake t.eng w
+      | None -> ());
+      true
+    end
+    else false
+  in
+  match bound with
+  | Some id -> ignore (try_poke t.cpus.(id))
+  | None ->
+      let n = Array.length t.cpus in
+      let rec go i = if i < n then if try_poke t.cpus.(i) then () else go (i + 1) in
+      go 0
+
+(* Pure (no effects): mark a thread runnable and poke an idle CPU.  Safe to
+   call from timer callbacks and suspend registrations. *)
+let make_ready t th =
+  (match th.state with
+  | Finished | Running | Ready -> invalid_arg "Sched.make_ready: bad state"
+  | Created | Blocked -> ());
+  th.state <- Ready;
+  (match th.bound with
+  | Some id -> Queue.push th t.bound_ready.(id)
+  | None -> Queue.push th t.global_ready);
+  poke t ~bound:th.bound
+
+(* Wake a blocked thread (pure).  Waking a running thread latches the
+   wakeup so the thread's next [block] returns immediately; callers
+   therefore re-check their condition in a loop. *)
+let wakeup t th =
+  match th.state with
+  | Blocked -> make_ready t th
+  | Running -> th.wakeup_pending <- true
+  | Created | Ready | Finished -> ()
+
+let next_thread t (cpu : Cpu.t) =
+  let q = t.bound_ready.(Cpu.id cpu) in
+  if not (Queue.is_empty q) then Some (Queue.pop q)
+  else if not (Queue.is_empty t.global_ready) then
+    Some (Queue.pop t.global_ready)
+  else None
+
+let has_ready t (cpu : Cpu.t) =
+  (not (Queue.is_empty t.bound_ready.(Cpu.id cpu)))
+  || not (Queue.is_empty t.global_ready)
+
+(* Give the CPU back to its idle loop (pure). *)
+let hand_cpu_back t (cpu : Cpu.t) =
+  match t.return_wakeners.(Cpu.id cpu) with
+  | Some w -> Engine.wake t.eng w
+  | None -> ()
+
+(* The per-CPU idle loop.  Checks for queued consistency actions (the
+   paper's idle-processor optimisation: idle CPUs are not interrupted but
+   must drain their action queues before becoming active), then dispatches
+   a ready thread or naps. *)
+let idle_loop t (cpu : Cpu.t) () =
+  while not t.shutdown do
+    Cpu.check_interrupts cpu;
+    (* Leave the idle set *before* draining queued consistency actions so
+       that a shootdown initiated in between interrupts us like any other
+       active processor (otherwise we could start translating with stale
+       entries the initiator thinks nobody holds). *)
+    if has_ready t cpu then cpu.Cpu.idle <- false;
+    t.pre_dispatch cpu;
+    match next_thread t cpu with
+    | Some th ->
+        cpu.Cpu.idle <- false;
+        Cpu.raw_delay cpu t.params.ctx_switch_cost;
+        t.activate th cpu;
+        th.cpu <- Some cpu;
+        th.state <- Running;
+        let parked =
+          match th.parked with
+          | Some w -> w
+          | None -> failwith "Sched: dispatching a thread that never parked"
+        in
+        Engine.suspend (fun w ->
+            t.return_wakeners.(Cpu.id cpu) <- Some w;
+            Engine.wake t.eng parked);
+        t.return_wakeners.(Cpu.id cpu) <- None;
+        cpu.Cpu.idle <- true
+    | None ->
+        cpu.Cpu.idle <- true;
+        Cpu.interruptible_sleep cpu t.params.idle_poll
+  done
+
+let start t =
+  Array.iter
+    (fun cpu ->
+      Engine.spawn t.eng ~name:(Printf.sprintf "idle%d" (Cpu.id cpu))
+        (idle_loop t cpu))
+    t.cpus
+
+let stop t = t.shutdown <- true
+let stopped t = t.shutdown
+
+(* Must be called from the thread's own coroutine while it holds a CPU.
+   [requeue] decides where the thread reappears: immediately Ready (yield),
+   or Blocked awaiting an external wakeup. *)
+let relinquish t th ~requeue =
+  let cpu =
+    match th.cpu with
+    | Some c -> c
+    | None -> failwith "Sched.relinquish: thread has no CPU"
+  in
+  t.deactivate th cpu;
+  Engine.suspend (fun w ->
+      th.parked <- Some w;
+      th.cpu <- None;
+      th.state <- Blocked;
+      if requeue || th.wakeup_pending then begin
+        th.wakeup_pending <- false;
+        make_ready t th
+      end;
+      hand_cpu_back t cpu);
+  th.parked <- None
+
+let block t th = relinquish t th ~requeue:false
+
+let yield t th =
+  match th.cpu with
+  | Some cpu when has_ready t cpu -> relinquish t th ~requeue:true
+  | Some _ -> ()
+  | None -> failwith "Sched.yield: thread has no CPU"
+
+(* Block for [dt] simulated microseconds (I/O waits, pager latency). *)
+let sleep t th dt =
+  let cpu =
+    match th.cpu with
+    | Some c -> c
+    | None -> failwith "Sched.sleep: thread has no CPU"
+  in
+  t.deactivate th cpu;
+  Engine.suspend (fun w ->
+      th.parked <- Some w;
+      th.cpu <- None;
+      th.state <- Blocked;
+      if th.wakeup_pending then begin
+        th.wakeup_pending <- false;
+        make_ready t th
+      end
+      else Engine.after t.eng dt (fun () -> wakeup t th);
+      hand_cpu_back t cpu);
+  th.parked <- None
+
+let finish t th =
+  let cpu =
+    match th.cpu with
+    | Some c -> c
+    | None -> failwith "Sched.finish: thread has no CPU"
+  in
+  t.deactivate th cpu;
+  th.state <- Finished;
+  t.live_threads <- t.live_threads - 1;
+  List.iter (fun j -> wakeup t j) th.joiners;
+  th.joiners <- [];
+  th.cpu <- None;
+  hand_cpu_back t cpu
+
+(* Create a thread; it parks itself and enters the ready queue, to run when
+   an idle CPU dispatches it. *)
+let create_thread t ?bound ?(name = "thread") body =
+  t.tid_counter <- t.tid_counter + 1;
+  let th =
+    {
+      tid = t.tid_counter;
+      tname = name;
+      state = Created;
+      cpu = None;
+      parked = None;
+      bound;
+      data = No_data;
+      joiners = [];
+      wakeup_pending = false;
+      run_time = 0.0;
+    }
+  in
+  t.live_threads <- t.live_threads + 1;
+  t.started_threads <- t.started_threads + 1;
+  Engine.spawn t.eng ~name (fun () ->
+      Engine.suspend (fun w ->
+          th.parked <- Some w;
+          make_ready t th);
+      th.parked <- None;
+      body th;
+      finish t th);
+  th
+
+let join t self target =
+  while target.state <> Finished do
+    target.joiners <- self :: target.joiners;
+    block t self
+  done
+
+let current_cpu th =
+  match th.cpu with
+  | Some c -> c
+  | None -> failwith "Sched.current_cpu: thread not running"

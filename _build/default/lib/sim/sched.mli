@@ -1,0 +1,91 @@
+(** Cooperative thread scheduler over simulated CPUs.
+
+    Each thread is its own coroutine; each CPU runs an idle-loop
+    coroutine.  A CPU is a baton: the idle loop hands it to a ready
+    thread and gets it back when the thread blocks, yields or exits.
+    Interrupts are taken by whichever coroutine currently holds the CPU.
+
+    The record types are exposed so upper layers can wire themselves in:
+    the machine layer installs the [pre_dispatch]/[activate]/[deactivate]
+    hooks, and attaches its task data to threads via the extensible
+    [user_data]. *)
+
+type user_data = ..
+type user_data += No_data
+
+type state = Created | Ready | Running | Blocked | Finished
+
+type thread = {
+  tid : int;
+  tname : string;
+  mutable state : state;
+  mutable cpu : Cpu.t option;
+  mutable parked : Engine.wakener option;
+  bound : int option;  (** pin to a CPU id *)
+  mutable data : user_data;
+  mutable joiners : thread list;
+  mutable wakeup_pending : bool;
+  mutable run_time : float;
+}
+
+type t = {
+  eng : Engine.t;
+  cpus : Cpu.t array;
+  params : Params.t;
+  global_ready : thread Queue.t;
+  bound_ready : thread Queue.t array;
+  return_wakeners : Engine.wakener option array;
+  mutable tid_counter : int;
+  mutable live_threads : int;
+  mutable started_threads : int;
+  mutable pre_dispatch : Cpu.t -> unit;
+      (** run by idle loops before dispatching (consistency-action check) *)
+  mutable activate : thread -> Cpu.t -> unit;
+  mutable deactivate : thread -> Cpu.t -> unit;
+  mutable shutdown : bool;
+}
+
+val create : Engine.t -> Cpu.t array -> Params.t -> t
+
+val start : t -> unit
+(** Spawn the per-CPU idle loops. *)
+
+val stop : t -> unit
+(** Ask idle loops and daemons to exit at their next check. *)
+
+val stopped : t -> bool
+val live_threads : t -> int
+val cpus : t -> Cpu.t array
+val engine : t -> Engine.t
+
+val create_thread :
+  t -> ?bound:int -> ?name:string -> (thread -> unit) -> thread
+(** Create a thread; it enters the ready queue and runs when an idle CPU
+    dispatches it. *)
+
+val current_cpu : thread -> Cpu.t
+(** The CPU the thread is running on.
+    @raise Failure if the thread is not running.  Do not cache the result
+    across a blocking call — the thread may migrate. *)
+
+val block : t -> thread -> unit
+(** Park the calling thread until {!wakeup}; the CPU goes back to its
+    idle loop.  Callers re-check their condition in a loop (wakeups can
+    race; a latch keeps them from being lost). *)
+
+val wakeup : t -> thread -> unit
+(** Make a blocked thread runnable (pure; safe from timers/registrations). *)
+
+val yield : t -> thread -> unit
+(** Give the CPU up if another thread could use it. *)
+
+val sleep : t -> thread -> float -> unit
+(** Block for a simulated duration (I/O waits). *)
+
+val join : t -> thread -> thread -> unit
+(** [join t self target] blocks [self] until [target] finishes. *)
+
+val make_ready : t -> thread -> unit
+(** Internal/advanced: enqueue a Created/Blocked thread directly. *)
+
+val has_ready : t -> Cpu.t -> bool

@@ -1,0 +1,12 @@
+(* Convenience umbrella so clients can write [Sim.Engine], [Sim.Cpu], ... *)
+
+module Heap = Heap
+module Prng = Prng
+module Params = Params
+module Engine = Engine
+module Bus = Bus
+module Interrupt = Interrupt
+module Cpu = Cpu
+module Spinlock = Spinlock
+module Sched = Sched
+module Sync = Sync

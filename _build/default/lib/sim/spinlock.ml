@@ -1,0 +1,73 @@
+(* Spinlocks with an associated interrupt priority level.
+
+   The paper (section 4) avoids deadlocks between the shootdown barrier and
+   interrupt-level lock acquisition by giving every lock a fixed interrupt
+   priority: the lock is requested at that level and may only be held at
+   that level or higher.  [acquire] therefore first raises the caller's IPL
+   to the lock's level, then spins; [release] drops the lock and returns
+   the IPL token for the caller to restore. *)
+
+type t = {
+  name : string;
+  level : Interrupt.level;
+  mutable holder : int; (* CPU id, or -1 when free *)
+  mutable acquisitions : int;
+  mutable contentions : int;
+}
+
+let create ?(level = Interrupt.ipl_vm) name =
+  { name; level; holder = -1; acquisitions = 0; contentions = 0 }
+
+let is_locked t = t.holder >= 0
+let holder t = if t.holder >= 0 then Some t.holder else None
+let name t = t.name
+
+(* Returns the saved IPL, to be passed to [release]. *)
+let acquire t (cpu : Cpu.t) =
+  let saved =
+    if Cpu.ipl cpu < t.level then Cpu.set_ipl cpu t.level else Cpu.ipl cpu
+  in
+  if t.holder = Cpu.id cpu then
+    invalid_arg (Printf.sprintf "Spinlock.acquire: %s already held by cpu%d"
+                   t.name (Cpu.id cpu));
+  cpu.Cpu.note <- "acquire:" ^ t.name;
+  let contended = ref false in
+  (* No effect is performed between the final emptiness check and taking
+     ownership, so the test-and-set below is atomic in simulated time. *)
+  let rec wait () =
+    if t.holder >= 0 then begin
+      contended := true;
+      Cpu.spin_poll_masked cpu;
+      wait ()
+    end
+    else t.holder <- Cpu.id cpu
+  in
+  wait ();
+  cpu.Cpu.note <- "holding:" ^ t.name;
+  if !contended then t.contentions <- t.contentions + 1;
+  t.acquisitions <- t.acquisitions + 1;
+  (* Cost of the interlocked test-and-set that succeeded. *)
+  Cpu.raw_delay cpu (Cpu.params cpu).Params.lock_cost;
+  Bus.access cpu.Cpu.bus ();
+  saved
+
+let release t (cpu : Cpu.t) ~saved_ipl =
+  if t.holder <> Cpu.id cpu then
+    invalid_arg (Printf.sprintf "Spinlock.release: %s not held by cpu%d"
+                   t.name (Cpu.id cpu));
+  Cpu.raw_delay cpu (Cpu.params cpu).Params.lock_cost;
+  Bus.access cpu.Cpu.bus ();
+  t.holder <- -1;
+  Cpu.restore_ipl cpu saved_ipl
+
+(* Convenience wrapper: acquire, run, release (restoring IPL). *)
+let with_lock t cpu f =
+  let saved = acquire t cpu in
+  let result =
+    try f ()
+    with e ->
+      release t cpu ~saved_ipl:saved;
+      raise e
+  in
+  release t cpu ~saved_ipl:saved;
+  result

@@ -1,0 +1,1 @@
+lib/vm/ipc_copy.ml: Core Hw List Sim Task Vm_map Vm_object Vmstate

@@ -1,0 +1,1 @@
+lib/vm/ipc_copy.mli: Hw Sim Task Vm_map Vmstate

@@ -1,0 +1,1 @@
+lib/vm/kmem.ml: Hw Vm_fault Vm_map

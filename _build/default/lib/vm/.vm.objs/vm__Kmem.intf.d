@@ -1,0 +1,1 @@
+lib/vm/kmem.mli: Hw Sim Vm_map Vmstate

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Core Hw Instrument Pageout Printf Sim Task Vm_map Vmstate

@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Core Hw Instrument Sim Vm_map Vmstate

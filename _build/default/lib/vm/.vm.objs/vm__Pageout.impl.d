@@ -1,0 +1,1 @@
+lib/vm/pageout.ml: Core Hw List Sim Vm_object Vmstate

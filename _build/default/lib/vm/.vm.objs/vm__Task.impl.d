@@ -1,0 +1,1 @@
+lib/vm/task.ml: Array Core Hw Printf Result Sim Vm_fault Vm_map Vmstate

@@ -1,0 +1,1 @@
+lib/vm/task.mli: Hw Sim Vm_map Vmstate

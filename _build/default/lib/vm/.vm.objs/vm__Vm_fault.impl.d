@@ -1,0 +1,1 @@
+lib/vm/vm_fault.ml: Core Hw Sim Vm_map Vm_object Vmstate

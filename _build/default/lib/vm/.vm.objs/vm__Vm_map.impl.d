@@ -1,0 +1,1 @@
+lib/vm/vm_map.ml: Core Hashtbl Hw List Printf Sim Vm_object Vmstate

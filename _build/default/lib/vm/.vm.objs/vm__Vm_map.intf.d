@@ -1,0 +1,1 @@
+lib/vm/vm_map.mli: Core Hw Sim Vm_object Vmstate

@@ -1,0 +1,1 @@
+lib/vm/vm_object.ml: Hashtbl Hw List

@@ -1,0 +1,1 @@
+lib/vm/vmstate.ml: Array Core Hashtbl Hw List Sim Vm_object

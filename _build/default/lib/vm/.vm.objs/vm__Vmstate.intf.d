@@ -1,0 +1,1 @@
+lib/vm/vmstate.mli: Core Hashtbl Hw Sim Vm_object

@@ -1,0 +1,37 @@
+(** Out-of-line data transfer for message passing (vm_map_copyin /
+    vm_map_copyout): large messages move as virtual copies, not byte
+    copies.  Capturing the sender's pages write-protects its mappings — a
+    TLB shootdown when the sender has threads on other processors, which
+    is one of the paper's motivating uses of shared memory. *)
+
+type t
+
+val total_pages : t -> int
+
+val copyin :
+  Vmstate.t ->
+  Sim.Sched.thread ->
+  Vm_map.t ->
+  lo:Hw.Addr.vpn ->
+  hi:Hw.Addr.vpn ->
+  (t, [ `Incomplete_range ]) result
+(** Capture [lo, hi) as a virtual copy; the source becomes copy-on-write
+    and its writable hardware mappings are downgraded. *)
+
+val copyout : Vmstate.t -> Sim.Sched.thread -> Vm_map.t -> t -> Hw.Addr.vpn
+(** Splice the copy into a map copy-on-write at a fresh address; consumes
+    the copy's object references. *)
+
+val discard : Vmstate.t -> Sim.Sched.thread -> t -> unit
+(** Drop an unconsumed copy. *)
+
+val send_ool_data :
+  Vmstate.t ->
+  Sim.Sched.thread ->
+  sender:Task.t ->
+  src_vpn:Hw.Addr.vpn ->
+  pages:int ->
+  receiver:Task.t ->
+  (Hw.Addr.vpn, [ `Incomplete_range ]) result
+(** One large mach_msg: copyin from the sender, copyout to the receiver;
+    returns the receiver-side address. *)

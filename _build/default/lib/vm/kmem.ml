@@ -1,0 +1,29 @@
+(* Kernel memory allocation on top of the kernel map.
+
+   [alloc_wired] populates mappings immediately (device buffers, kernel
+   stacks); [alloc_pageable] defers everything to page faults, so freeing
+   a region that was never fully touched is exactly the case the paper's
+   lazy evaluation optimizes (no shootdown for unmapped pages).
+   [free] removes mappings from the kernel pmap — the dominant source of
+   kernel-pmap shootdowns in the Mach build workload. *)
+
+module Addr = Hw.Addr
+
+let alloc_wired vms self kmap ~pages =
+  let vpn =
+    Vm_map.allocate vms self kmap ~pages ~wired:true ~inh:Vm_map.Inherit_none ()
+  in
+  (* Wired kernel memory is mapped up front. *)
+  (match Vm_fault.fault_range vms self kmap ~lo:vpn ~hi:(vpn + pages)
+           ~access:Addr.Write_access
+   with
+  | Vm_fault.Fault_ok -> ()
+  | Vm_fault.Fault_protection | Vm_fault.Fault_no_entry ->
+      failwith "Kmem.alloc_wired: fault failed");
+  vpn
+
+let alloc_pageable vms self kmap ~pages =
+  Vm_map.allocate vms self kmap ~pages ~inh:Vm_map.Inherit_none ()
+
+let free vms self kmap ~vpn ~pages =
+  Vm_map.deallocate vms self kmap ~lo:vpn ~hi:(vpn + pages)

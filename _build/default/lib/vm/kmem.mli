@@ -1,0 +1,15 @@
+(** Kernel memory allocation on the kernel map.  [alloc_wired] maps its
+    pages immediately; [alloc_pageable] defers everything to faults — so
+    freeing a never-touched region is exactly the case the paper's lazy
+    evaluation optimizes.  [free] removes kernel-pmap mappings: the
+    dominant source of kernel shootdowns in the Mach-build workload. *)
+
+val alloc_wired :
+  Vmstate.t -> Sim.Sched.thread -> Vm_map.t -> pages:int -> Hw.Addr.vpn
+
+val alloc_pageable :
+  Vmstate.t -> Sim.Sched.thread -> Vm_map.t -> pages:int -> Hw.Addr.vpn
+
+val free :
+  Vmstate.t -> Sim.Sched.thread -> Vm_map.t -> vpn:Hw.Addr.vpn -> pages:int ->
+  unit

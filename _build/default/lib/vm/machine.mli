@@ -1,0 +1,35 @@
+(** A complete simulated multiprocessor: CPUs on a shared bus, MMUs and
+    TLBs, the pmap context with the shootdown algorithm installed, the
+    scheduler (idle loops wired to the idle-processor optimisation), the
+    VM state, the kernel map, and the background daemons. *)
+
+type t = {
+  params : Sim.Params.t;
+  eng : Sim.Engine.t;
+  bus : Sim.Bus.t;
+  cpus : Sim.Cpu.t array;
+  mmus : Hw.Mmu.t array;
+  mem : Hw.Phys_mem.t;
+  xpr : Instrument.Xpr.t;
+  ctx : Core.Pmap.ctx;
+  sched : Sim.Sched.t;
+  vms : Vmstate.t;
+  kernel_map : Vm_map.t;
+}
+
+val create : ?params:Sim.Params.t -> unit -> t
+(** Boot a machine: defaults to the calibrated 16-CPU Multimax model. *)
+
+exception Wedged of string
+(** Raised when the event queue drains before the main thread finishes. *)
+
+val run : ?bound:int -> t -> (Sim.Sched.thread -> unit) -> unit
+(** Run [body] as the machine's "main" thread (optionally pinned to a
+    CPU); returns after it finishes and the machine has been shut down.
+    @raise Wedged on deadlock. *)
+
+val now : t -> float
+(** Simulated microseconds since boot. *)
+
+val total_busy_time : t -> float
+(** Sum of per-CPU busy time, for overhead percentages. *)

@@ -1,0 +1,85 @@
+(* The pageout daemon: when free memory falls below the low watermark it
+   steals pages from the inactive queue — removing every hardware mapping
+   with pmap_page_protect (a shootdown for each mapped page whose pmap is
+   in use elsewhere), pushing dirty pages to the pager, and freeing the
+   frames.  Pages referenced since deactivation get a second chance. *)
+
+module Addr = Hw.Addr
+module Pmap_ops = Core.Pmap_ops
+
+type stats = { mutable stolen : int; mutable second_chances : int }
+
+let stats = { stolen = 0; second_chances = 0 }
+
+let pageout_io_latency = 15_000.0 (* us per page written to backing store *)
+
+let run_once vms self =
+  let ctx = vms.Vmstate.ctx in
+  let sched = vms.Vmstate.sched in
+  Vmstate.lock vms self;
+  (* Refill the inactive queue from the tail of the active queue. *)
+  let want = vms.Vmstate.free_target - Vmstate.free_frames vms in
+  if want > 0 && List.length vms.Vmstate.inactive_q < 2 * want then
+    Vmstate.deactivate_some vms (2 * want);
+  let progress = ref false in
+  let continue_ = ref true in
+  while
+    !continue_
+    && Vmstate.free_frames vms < vms.Vmstate.free_target
+    && vms.Vmstate.inactive_q <> []
+  do
+    match vms.Vmstate.inactive_q with
+    | [] -> continue_ := false
+    | page :: rest ->
+        vms.Vmstate.inactive_q <- rest;
+        if page.Vm_object.busy || page.Vm_object.wire_count > 0 then
+          Vmstate.activate_page vms page
+        else begin
+          let pfn = page.Vm_object.pfn in
+          let referenced, modified = Pmap_ops.reference_bits ctx ~pfn in
+          if referenced then begin
+            (* Second chance: clear the bits and reactivate. *)
+            Pmap_ops.clear_reference_bits ctx ~pfn;
+            Vmstate.activate_page vms page;
+            stats.second_chances <- stats.second_chances + 1
+          end
+          else begin
+            match Vmstate.owner_of_pfn vms pfn with
+            | None -> () (* freed while on the queue *)
+            | Some (obj, _) ->
+                page.Vm_object.busy <- true;
+                Vmstate.unlock vms self;
+                (* Remove every mapping: the shootdown-generating step.
+                   (CPU fetched fresh: the locks above can migrate us.) *)
+                Pmap_ops.page_protect ctx
+                  (Sim.Sched.current_cpu self)
+                  ~pfn ~prot:Addr.Prot_none;
+                let dirty = modified || page.Vm_object.dirty in
+                if dirty then Sim.Sched.sleep sched self pageout_io_latency;
+                Vmstate.lock vms self;
+                page.Vm_object.busy <- false;
+                Sim.Sync.broadcast sched vms.Vmstate.page_wanted;
+                Vmstate.release_page vms obj page;
+                vms.Vmstate.pageouts <- vms.Vmstate.pageouts + 1;
+                stats.stolen <- stats.stolen + 1;
+                progress := true
+          end
+        end
+  done;
+  Vmstate.unlock vms self;
+  !progress
+
+(* Daemon body: sleep until kicked, then steal until above target. *)
+let daemon vms self =
+  let sched = vms.Vmstate.sched in
+  while not (Sim.Sched.stopped sched) do
+    Vmstate.lock vms self;
+    while
+      Vmstate.free_frames vms > vms.Vmstate.free_low
+      && not (Sim.Sched.stopped sched)
+    do
+      Sim.Sync.wait sched self vms.Vmstate.pageout_cv vms.Vmstate.vm_lock
+    done;
+    Vmstate.unlock vms self;
+    if not (Sim.Sched.stopped sched) then ignore (run_once vms self)
+  done

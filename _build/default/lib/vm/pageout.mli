@@ -1,0 +1,16 @@
+(** The pageout daemon: reclaims memory by stealing inactive pages —
+    removing every hardware mapping with pmap_page_protect (a shootdown
+    per mapped page in use elsewhere), writing dirty pages to the pager,
+    and freeing the frames.  Referenced pages get a second chance. *)
+
+type stats = { mutable stolen : int; mutable second_chances : int }
+
+val stats : stats
+val pageout_io_latency : float
+
+val run_once : Vmstate.t -> Sim.Sched.thread -> bool
+(** One reclaim pass; [true] if any page was stolen. *)
+
+val daemon : Vmstate.t -> Sim.Sched.thread -> unit
+(** The daemon body: sleeps until kicked by low memory, then steals until
+    the free target is met.  Exits when the scheduler shuts down. *)

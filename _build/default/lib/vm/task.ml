@@ -1,0 +1,200 @@
+(* Tasks (address spaces) and their threads, plus the memory-access path
+   that drives the simulated MMU: a load or store translates through the
+   CPU's TLB and, on a miss or denial, traps into vm_fault and retries.
+
+   Also implements the cthreads stack discipline the paper describes in
+   section 7.2: each new thread gets an aligned stack region whose first
+   page holds private data and whose second page is reprotected to
+   no-access as a guard — the reprotect of that never-touched page is the
+   user shootdown that lazy evaluation eliminates. *)
+
+module Addr = Hw.Addr
+module Phys_mem = Hw.Phys_mem
+module Mmu = Hw.Mmu
+module Pmap = Core.Pmap
+
+type t = {
+  task_id : int;
+  task_name : string;
+  map : Vm_map.t;
+  mutable live_threads : int;
+  mutable terminated : bool;
+}
+
+type Sim.Sched.user_data += Task_thread of t
+
+let counter = ref 0
+
+(* The first user page is left unmapped (null-pointer protection). *)
+let user_lo_vpn = 16
+let user_hi_vpn = Addr.vpn_of_addr Addr.user_limit
+
+let create (vms : Vmstate.t) ~name =
+  incr counter;
+  let pmap = Pmap.create_pmap vms.Vmstate.ctx ~name in
+  {
+    task_id = !counter;
+    task_name = name;
+    map = Vm_map.create ~pmap ~lo:user_lo_vpn ~hi:user_hi_vpn;
+    live_threads = 0;
+    terminated = false;
+  }
+
+(* Unix-style fork: the child address space copies the parent's according
+   to per-entry inheritance (copy entries become copy-on-write). *)
+let fork vms self parent ~name =
+  incr counter;
+  let child_pmap = Pmap.create_pmap vms.Vmstate.ctx ~name in
+  let map = Vm_map.fork vms self parent.map ~child_pmap in
+  {
+    task_id = !counter;
+    task_name = name;
+    map;
+    live_threads = 0;
+    terminated = false;
+  }
+
+let terminate vms self task =
+  if not task.terminated then begin
+    task.terminated <- true;
+    Vm_map.destroy vms self task.map
+  end
+
+(* Make the calling thread a member of [task]: used by "main" threads that
+   were created before the task existed.  Future dispatches activate the
+   task's pmap via the scheduler hooks; the current dispatch must do it by
+   hand. *)
+let adopt (vms : Vmstate.t) self task =
+  self.Sim.Sched.data <- Task_thread task;
+  task.live_threads <- task.live_threads + 1;
+  let cpu = Sim.Sched.current_cpu self in
+  Pmap.activate vms.Vmstate.ctx task.map.Vm_map.pmap cpu
+
+(* ------------------------------------------------------------------ *)
+(* Threads *)
+
+let spawn_thread (vms : Vmstate.t) task ?bound ~name body =
+  task.live_threads <- task.live_threads + 1;
+  let th =
+    Sim.Sched.create_thread vms.Vmstate.sched ?bound ~name (fun self ->
+        body self;
+        task.live_threads <- task.live_threads - 1)
+  in
+  th.Sim.Sched.data <- Task_thread task;
+  th
+
+
+(* ------------------------------------------------------------------ *)
+(* Memory access through the MMU, with fault handling. *)
+
+type access_error = Err_protection | Err_no_entry
+
+let mmu_of vms self =
+  let cpu = Sim.Sched.current_cpu self in
+  vms.Vmstate.ctx.Core.Pmap.mmus.(Sim.Cpu.id cpu)
+
+let rec retry_access vms self map ~va ~access ~attempt
+    (doit : Mmu.t -> (int, Mmu.fault) result) =
+  if attempt > 64 then
+    failwith
+      (Printf.sprintf "Task: access at 0x%x live-locked after 64 faults" va);
+  let mmu = mmu_of vms self in
+  match doit mmu with
+  | Ok v -> Ok v
+  | Error _fault -> (
+      match
+        Vm_fault.fault vms self map ~vpn:(Addr.vpn_of_addr va) ~access
+      with
+      | Vm_fault.Fault_ok ->
+          retry_access vms self map ~va ~access ~attempt:(attempt + 1) doit
+      | Vm_fault.Fault_protection -> Error Err_protection
+      | Vm_fault.Fault_no_entry -> Error Err_no_entry)
+
+let read_word vms self map va =
+  retry_access vms self map ~va ~access:Addr.Read_access ~attempt:0 (fun mmu ->
+      Mmu.read_word mmu va)
+
+let write_word vms self map va v =
+  retry_access vms self map ~va ~access:Addr.Write_access ~attempt:0
+    (fun mmu ->
+      match Mmu.write_word mmu va v with Ok () -> Ok 0 | Error f -> Error f)
+  |> Result.map (fun (_ : int) -> ())
+
+(* cthreads stack setup (section 7.2): allocate an aligned stack region,
+   reserve the first page for private data, reprotect the second page to
+   no access as a red zone.  Returns the base vpn. *)
+let cthread_stack_pages = 16
+
+let setup_thread_stack vms self task =
+  let base =
+    Vm_map.allocate vms self task.map ~pages:cthread_stack_pages ()
+  in
+  (* cthread_fork writes the thread's private data into the first page
+     before installing the guard; the write also populates the page-table
+     chunk, so without the lazy per-page check the guard reprotect cannot
+     be skipped (the paper's 70 user shootdowns). *)
+  (match write_word vms self task.map (Addr.addr_of_vpn base) 1 with
+  | Ok () -> ()
+  | Error _ -> failwith "Task.setup_thread_stack: private page fault");
+  Vm_map.protect vms self task.map ~lo:(base + 1) ~hi:(base + 2)
+    ~prot:Addr.Prot_none;
+  base
+
+(* Touch every page of a range (population / warm-up). *)
+let touch_range vms self map ~lo_vpn ~pages ~access =
+  let rec go i =
+    if i >= pages then Ok ()
+    else
+      let va = Addr.addr_of_vpn (lo_vpn + i) in
+      let r =
+        match access with
+        | Addr.Read_access -> Result.map ignore (read_word vms self map va)
+        | Addr.Write_access -> write_word vms self map va 1
+      in
+      match r with Ok () -> go (i + 1) | Error e -> Error e
+  in
+  go 0
+
+(* Copy data between address spaces via the kernel (vm_read/vm_write:
+   "reading or writing memory in some other address space").  The pages
+   are faulted resident through each map's own fault path — resolving
+   copy-on-write on the destination — and the data moves through physical
+   memory, since neither address space need be the one loaded on the
+   executing processor. *)
+let vm_copy vms self ~(src : t) ~src_va ~(dst : t) ~dst_va ~words =
+  let mem = Vmstate.mem vms in
+  let resolve map vpn access =
+    let pfn_now () =
+      match Core.Pmap_ops.extract map.Vm_map.pmap ~vpn with
+      | Some (pfn, prot) when Addr.prot_allows prot access -> Some pfn
+      | Some _ | None -> None
+    in
+    match pfn_now () with
+    | Some pfn -> Ok pfn
+    | None -> (
+        match Vm_fault.fault vms self map ~vpn ~access with
+        | Vm_fault.Fault_ok -> (
+            match pfn_now () with
+            | Some pfn -> Ok pfn
+            | None -> Error Err_no_entry)
+        | Vm_fault.Fault_protection -> Error Err_protection
+        | Vm_fault.Fault_no_entry -> Error Err_no_entry)
+  in
+  let rec go i =
+    if i >= words then Ok ()
+    else
+      let sva = src_va + (i * Addr.word_size) in
+      let dva = dst_va + (i * Addr.word_size) in
+      match resolve src.map (Addr.vpn_of_addr sva) Addr.Read_access with
+      | Error e -> Error e
+      | Ok spfn -> (
+          match resolve dst.map (Addr.vpn_of_addr dva) Addr.Write_access with
+          | Error e -> Error e
+          | Ok dpfn ->
+              let v = Phys_mem.read mem ~pfn:spfn ~offset:(Addr.page_offset sva) in
+              Phys_mem.write mem ~pfn:dpfn ~offset:(Addr.page_offset dva) v;
+              if i mod Addr.words_per_page = 0 then
+                Sim.Cpu.kernel_step (Sim.Sched.current_cpu self) 25.0;
+              go (i + 1))
+  in
+  go 0

@@ -1,0 +1,134 @@
+(* The page-fault handler: resolve a virtual page against the address
+   map's object (walking the copy-on-write shadow chain), materialize the
+   page (zero-fill, pagein, or COW copy), and enter the result in the
+   pmap.  The pmap is purely a cache — everything authoritative lives in
+   the map and objects, which is what makes the extensive lazy evaluation
+   of pmap operations possible (paper section 2). *)
+
+module Addr = Hw.Addr
+module Phys_mem = Hw.Phys_mem
+module Pmap_ops = Core.Pmap_ops
+
+type outcome =
+  | Fault_ok
+  | Fault_protection (* access denied by the map entry *)
+  | Fault_no_entry (* address not allocated *)
+
+(* Materialize the page backing [offset] of [entry.obj] for the given
+   access, VM lock held; may drop it while sleeping on pager I/O.
+   Returns the page plus whether it belongs to the entry's own object
+   (false = it lives below in the shadow chain, so writes must copy). *)
+let rec resolve_page vms self (entry : Vm_map.entry) ~offset ~write =
+  let sched = vms.Vmstate.sched in
+  let params = vms.Vmstate.ctx.Core.Pmap.params in
+  match Vm_object.chain_lookup entry.Vm_map.obj ~offset with
+  | `Resident (owner, _owner_offset, page) ->
+      if page.Vm_object.busy then begin
+        Vmstate.wait_not_busy vms self page;
+        resolve_page vms self entry ~offset ~write
+      end
+      else if owner == entry.Vm_map.obj then (page, true)
+      else if write then begin
+        (* Copy-on-write: pull the page up into the entry's object. *)
+        let new_page =
+          Vmstate.grab_frame vms self ~obj:entry.Vm_map.obj ~offset
+            ~wired:false
+        in
+        Phys_mem.copy_frame (Vmstate.mem vms) ~src:page.Vm_object.pfn
+          ~dst:new_page.Vm_object.pfn;
+        (* re-fetch the CPU: grab_frame may have blocked and migrated us *)
+        Sim.Cpu.kernel_step (Sim.Sched.current_cpu self) params.cow_copy_cost;
+        vms.Vmstate.cow_copies <- vms.Vmstate.cow_copies + 1;
+        new_page.Vm_object.dirty <- true;
+        (new_page, true)
+      end
+      else (page, false)
+  | `Absent (bottom, bottom_offset) -> (
+      match bottom.Vm_object.backing with
+      | Vm_object.Anonymous ->
+          (* Zero-fill directly in the entry's object. *)
+          let page =
+            Vmstate.grab_frame vms self ~obj:entry.Vm_map.obj ~offset
+              ~wired:entry.Vm_map.wired
+          in
+          Phys_mem.zero_frame (Vmstate.mem vms) page.Vm_object.pfn;
+          Sim.Cpu.kernel_step (Sim.Sched.current_cpu self) params.zero_fill_cost;
+          vms.Vmstate.zero_fills <- vms.Vmstate.zero_fills + 1;
+          (page, true)
+      | Vm_object.File { pagein_latency } ->
+          (* Page it in from the simulated pager into the backing object,
+             then retry (a write will then COW-copy it up). *)
+          let page =
+            Vmstate.grab_frame vms self ~obj:bottom ~offset:bottom_offset
+              ~wired:false
+          in
+          page.Vm_object.busy <- true;
+          vms.Vmstate.pageins <- vms.Vmstate.pageins + 1;
+          Vmstate.unlock vms self;
+          Sim.Sched.sleep sched self pagein_latency;
+          Vmstate.lock vms self;
+          page.Vm_object.busy <- false;
+          Sim.Sync.broadcast sched vms.Vmstate.page_wanted;
+          resolve_page vms self entry ~offset ~write)
+
+(* Handle a fault at [vpn] of [map]. *)
+let fault vms self (map : Vm_map.t) ~vpn ~access =
+  let ctx = vms.Vmstate.ctx in
+  let params = ctx.Core.Pmap.params in
+  Sim.Cpu.kernel_step (Sim.Sched.current_cpu self) params.fault_base_cost;
+  Vm_map.lock vms self map;
+  match Vm_map.lookup_entry map vpn with
+  | None ->
+      Vm_map.unlock vms self map;
+      Fault_no_entry
+  | Some entry ->
+      if not (Addr.prot_allows entry.Vm_map.prot access) then begin
+        Vm_map.unlock vms self map;
+        Fault_protection
+      end
+      else begin
+        let write = access = Addr.Write_access in
+        (* First write into a needs-copy entry interposes a shadow. *)
+        if write && entry.Vm_map.needs_copy then begin
+          let size = entry.Vm_map.e_end - entry.Vm_map.e_start in
+          entry.Vm_map.obj <-
+            Vm_object.make_shadow entry.Vm_map.obj
+              ~offset:entry.Vm_map.obj_offset ~size;
+          entry.Vm_map.obj_offset <- 0;
+          entry.Vm_map.needs_copy <- false
+        end;
+        let offset =
+          entry.Vm_map.obj_offset + (vpn - entry.Vm_map.e_start)
+        in
+        Vmstate.lock vms self;
+        let page, own = resolve_page vms self entry ~offset ~write in
+        if write then page.Vm_object.dirty <- true;
+        Vmstate.activate_page vms page;
+        (* opportunistic shadow-chain maintenance (vm_object_collapse) *)
+        Vmstate.collapse_chain vms entry.Vm_map.obj;
+        (* Pages supplied by an object further down a COW chain are mapped
+           read-only so the first write refaults and copies. *)
+        let enter_prot =
+          if own && not entry.Vm_map.needs_copy then entry.Vm_map.prot
+          else Addr.prot_intersect entry.Vm_map.prot Addr.Prot_read
+        in
+        (* current CPU fetched here: the locks above may have migrated us *)
+        Pmap_ops.enter ctx
+          (Sim.Sched.current_cpu self)
+          map.Vm_map.pmap ~vpn ~pfn:page.Vm_object.pfn ~prot:enter_prot
+          ~wired:entry.Vm_map.wired;
+        Vmstate.unlock vms self;
+        Vm_map.unlock vms self map;
+        Fault_ok
+      end
+
+(* Fault pages in eagerly (wiring, kernel allocations, remote reads). *)
+let fault_range vms self map ~lo ~hi ~access =
+  let rec go vpn =
+    if vpn >= hi then Fault_ok
+    else
+      match fault vms self map ~vpn ~access with
+      | Fault_ok -> go (vpn + 1)
+      | other -> other
+  in
+  go lo

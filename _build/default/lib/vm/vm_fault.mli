@@ -1,0 +1,19 @@
+(** The page-fault handler: resolve a page against the map's object chain
+    (zero-fill, pagein, or copy-on-write copy) and enter the result in the
+    pmap.  The pmap is purely a cache; everything authoritative lives in
+    the maps and objects — the basis of the paper's lazy evaluation. *)
+
+type outcome =
+  | Fault_ok
+  | Fault_protection (** denied by the map entry *)
+  | Fault_no_entry (** address not allocated *)
+
+val fault :
+  Vmstate.t -> Sim.Sched.thread -> Vm_map.t -> vpn:Hw.Addr.vpn ->
+  access:Hw.Addr.access -> outcome
+
+val fault_range :
+  Vmstate.t -> Sim.Sched.thread -> Vm_map.t -> lo:Hw.Addr.vpn ->
+  hi:Hw.Addr.vpn -> access:Hw.Addr.access -> outcome
+(** Fault pages in eagerly (wiring, kernel allocations); stops at the
+    first non-[Fault_ok] outcome. *)

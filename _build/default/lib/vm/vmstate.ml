@@ -1,0 +1,202 @@
+(* Shared machine-independent VM state: the global VM lock, the resident
+   page bookkeeping, the active/inactive queues the pageout daemon scans,
+   and the free-memory watermarks. *)
+
+module Addr = Hw.Addr
+module Phys_mem = Hw.Phys_mem
+module Pv_list = Core.Pv_list
+
+type t = {
+  ctx : Core.Pmap.ctx;
+  sched : Sim.Sched.t;
+  (* One blocking lock serializes object/page-queue manipulation; it is
+     never held across a sleep (busy pages take its place, as in Mach). *)
+  vm_lock : Sim.Sync.mutex;
+  page_wanted : Sim.Sync.condvar; (* waiting for a busy page *)
+  pageout_cv : Sim.Sync.condvar; (* kicks the pageout daemon *)
+  free_cv : Sim.Sync.condvar; (* waiting for free memory *)
+  resident : (int, Vm_object.t * Vm_object.page) Hashtbl.t; (* by pfn *)
+  mutable active_q : Vm_object.page list; (* newest first *)
+  mutable inactive_q : Vm_object.page list; (* oldest last *)
+  free_low : int; (* wake pageout below this many free frames *)
+  free_target : int; (* pageout stops above this *)
+  mutable pageouts : int;
+  mutable pageins : int;
+  mutable zero_fills : int;
+  mutable cow_copies : int;
+  (* Deferred-free quarantine (section 10, Thompson et al.): freed frames
+     wait here until every CPU has performed a full TLB flush since the
+     free, so no stale entry can reference a reused frame. *)
+  flush_counts : int array;
+  mutable limbo : (Addr.pfn * int array) list;
+  mutable deferred_frees : int;
+}
+
+let create ~ctx ~sched ?(free_low = 32) ?(free_target = 64) () =
+  {
+    ctx;
+    sched;
+    vm_lock = Sim.Sync.create_mutex "vm";
+    page_wanted = Sim.Sync.create_condvar "page-wanted";
+    pageout_cv = Sim.Sync.create_condvar "pageout";
+    free_cv = Sim.Sync.create_condvar "vm-free";
+    resident = Hashtbl.create 1024;
+    active_q = [];
+    inactive_q = [];
+    free_low;
+    free_target;
+    pageouts = 0;
+    pageins = 0;
+    zero_fills = 0;
+    cow_copies = 0;
+    flush_counts = Array.make (Core.Pmap.ncpus ctx) 0;
+    limbo = [];
+    deferred_frees = 0;
+  }
+
+let mem t = t.ctx.Core.Pmap.mem
+let lock t self = Sim.Sync.lock t.sched self t.vm_lock
+let unlock t self = Sim.Sync.unlock t.sched self t.vm_lock
+
+let free_frames t = Phys_mem.free_frames (mem t)
+
+(* Allocate a physical frame for [obj]/[offset], waking the pageout daemon
+   when memory runs low and sleeping when it runs out entirely.  Must be
+   called with the VM lock held; may drop and retake it while waiting. *)
+let grab_frame t self ~obj ~offset ~wired =
+  if free_frames t <= t.free_low then Sim.Sync.broadcast t.sched t.pageout_cv;
+  while free_frames t = 0 do
+    Sim.Sync.broadcast t.sched t.pageout_cv;
+    Sim.Sync.wait t.sched self t.free_cv t.vm_lock
+  done;
+  let pfn = Phys_mem.alloc_frame (mem t) in
+  let page =
+    {
+      Vm_object.pfn;
+      page_offset = offset;
+      busy = false;
+      wire_count = (if wired then 1 else 0);
+      on_queue = `None;
+      dirty = false;
+    }
+  in
+  Vm_object.insert_page obj page;
+  Hashtbl.replace t.resident pfn (obj, page);
+  page
+
+let deferred_free_active t =
+  match t.ctx.Core.Pmap.params.Sim.Params.consistency with
+  | Sim.Params.Deferred_free _ -> true
+  | Sim.Params.Shootdown | Sim.Params.Timer_flush _ | Sim.Params.Hw_remote
+  | Sim.Params.No_consistency ->
+      false
+
+(* Free a resident page and its frame (VM lock held).  Under the deferred
+   policy the frame is quarantined instead: a stale TLB entry somewhere
+   may still translate to it, so it must not be reused until every TLB has
+   been flushed. *)
+let release_page t (obj : Vm_object.t) (page : Vm_object.page) =
+  Vm_object.remove_page obj page;
+  Hashtbl.remove t.resident page.Vm_object.pfn;
+  t.active_q <- List.filter (fun p -> not (p == page)) t.active_q;
+  t.inactive_q <- List.filter (fun p -> not (p == page)) t.inactive_q;
+  page.Vm_object.on_queue <- `None;
+  if deferred_free_active t then begin
+    t.limbo <- (page.Vm_object.pfn, Array.copy t.flush_counts) :: t.limbo;
+    t.deferred_frees <- t.deferred_frees + 1
+  end
+  else begin
+    Phys_mem.free_frame (mem t) page.Vm_object.pfn;
+    Sim.Sync.broadcast t.sched t.free_cv
+  end
+
+(* A CPU performed a full TLB flush: advance its epoch and release every
+   quarantined frame that all CPUs have flushed past. *)
+let note_full_flush t ~cpu_id =
+  t.flush_counts.(cpu_id) <- t.flush_counts.(cpu_id) + 1;
+  let releasable, still =
+    List.partition
+      (fun (_, stamp) ->
+        let ok = ref true in
+        Array.iteri
+          (fun i c -> if t.flush_counts.(i) <= c then ok := false)
+          stamp;
+        !ok)
+      t.limbo
+  in
+  t.limbo <- still;
+  if releasable <> [] then begin
+    List.iter (fun (pfn, _) -> Phys_mem.free_frame (mem t) pfn) releasable;
+    Sim.Sync.broadcast t.sched t.free_cv
+  end
+
+let activate_page t (page : Vm_object.page) =
+  (match page.Vm_object.on_queue with
+  | `Active -> ()
+  | `Inactive ->
+      t.inactive_q <- List.filter (fun p -> not (p == page)) t.inactive_q;
+      t.active_q <- page :: t.active_q;
+      page.Vm_object.on_queue <- `Active
+  | `None ->
+      t.active_q <- page :: t.active_q;
+      page.Vm_object.on_queue <- `Active)
+
+(* Move the oldest active pages to the inactive queue (pageout clock). *)
+let deactivate_some t n =
+  let rec split acc k = function
+    | [] -> (List.rev acc, [])
+    | rest when k = 0 -> (List.rev acc, rest)
+    | p :: rest -> split (p :: acc) (k - 1) rest
+  in
+  let keep_n = max 0 (List.length t.active_q - n) in
+  let kept, moved = split [] keep_n t.active_q in
+  t.active_q <- kept;
+  List.iter
+    (fun (p : Vm_object.page) ->
+      if p.Vm_object.wire_count = 0 then begin
+        p.Vm_object.on_queue <- `Inactive;
+        t.inactive_q <- t.inactive_q @ [ p ]
+      end
+      else begin
+        p.Vm_object.on_queue <- `Active;
+        t.active_q <- p :: t.active_q
+      end)
+    moved
+
+(* Wait (VM lock held) until [page] is no longer busy. *)
+let wait_not_busy t self (page : Vm_object.page) =
+  while page.Vm_object.busy do
+    Sim.Sync.wait t.sched self t.page_wanted t.vm_lock
+  done
+
+let owner_of_pfn t pfn = Hashtbl.find_opt t.resident pfn
+
+(* Collapse an object's shadow chain (VM lock held): pages the bypassed
+   object donates move their residence records to the survivor; pages
+   nobody can reach any more are freed. *)
+let collapse_chain t (obj : Vm_object.t) =
+  let progress = ref true in
+  while !progress do
+    match Vm_object.collapse obj with
+    | `Unchanged -> progress := false
+    | `Collapsed (moved, orphans) ->
+        List.iter
+          (fun (p : Vm_object.page) ->
+            Hashtbl.replace t.resident p.Vm_object.pfn (obj, p))
+          moved;
+        List.iter
+          (fun (p : Vm_object.page) ->
+            if Pv_list.mapping_count t.ctx.Core.Pmap.pv ~pfn:p.Vm_object.pfn = 0
+            then begin
+              (* reinsert so release_page's bookkeeping finds it *)
+              Hashtbl.replace t.resident p.Vm_object.pfn (obj, p);
+              Vm_object.insert_page obj p;
+              release_page t obj p
+            end
+            else begin
+              (* still mapped somewhere: keep it alive under the survivor *)
+              Vm_object.insert_page obj p;
+              Hashtbl.replace t.resident p.Vm_object.pfn (obj, p)
+            end)
+          orphans
+  done

@@ -1,0 +1,1 @@
+lib/workloads/agora.ml: Driver Hw List Printf Sim Vm

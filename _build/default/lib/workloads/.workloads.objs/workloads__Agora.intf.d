@@ -1,0 +1,1 @@
+lib/workloads/agora.mli: Driver Sim Vm

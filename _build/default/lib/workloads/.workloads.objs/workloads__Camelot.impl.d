@@ -1,0 +1,1 @@
+lib/workloads/camelot.ml: Driver Hw List Printf Sim Vm

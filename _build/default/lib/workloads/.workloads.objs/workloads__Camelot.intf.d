@@ -1,0 +1,1 @@
+lib/workloads/camelot.mli: Driver Sim Vm

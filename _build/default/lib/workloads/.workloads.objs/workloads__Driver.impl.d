@@ -1,0 +1,1 @@
+lib/workloads/driver.ml: Core Instrument List Sim Vm

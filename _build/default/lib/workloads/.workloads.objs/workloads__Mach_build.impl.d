@@ -1,0 +1,1 @@
+lib/workloads/mach_build.ml: Driver Hw List Printf Sim Vm

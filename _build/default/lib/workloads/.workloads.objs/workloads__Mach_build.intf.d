@@ -1,0 +1,1 @@
+lib/workloads/mach_build.mli: Driver Sim Vm

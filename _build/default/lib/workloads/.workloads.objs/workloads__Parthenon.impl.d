@@ -1,0 +1,1 @@
+lib/workloads/parthenon.ml: Driver Hw List Printf Queue Sim Vm

@@ -1,0 +1,1 @@
+lib/workloads/parthenon.mli: Driver Sim Vm

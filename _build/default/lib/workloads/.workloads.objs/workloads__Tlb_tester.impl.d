@@ -1,0 +1,1 @@
+lib/workloads/tlb_tester.ml: Array Hw Instrument List Printf Sim Vm

@@ -1,0 +1,1 @@
+lib/workloads/tlb_tester.mli: Sim Vm

@@ -1,0 +1,145 @@
+(* The "Agora" evaluation application: a double-ended wavefront-based
+   shortest-path search running 15-way parallel on the Agora support base
+   for heterogeneous parallel systems (paper section 5.2).
+
+   Agora's signature in the shootdown data is bimodality: during its setup
+   phase it allocates and wires communication structures in the kernel
+   while all fifteen workers are already spinning — kernel shootdowns
+   involving 11-15 processors.  Once the shared write-once memory is in
+   place, the search itself can be run again and again causing only small
+   shootdowns (1-4 processors, from stragglers' kernel allocations while
+   the rest wait at the wavefront barrier). *)
+
+module Addr = Hw.Addr
+module Task = Vm.Task
+module Vm_map = Vm.Vm_map
+module Kmem = Vm.Kmem
+module Machine = Vm.Machine
+
+type config = {
+  workers : int;
+  runs : int;
+  setup_buffers : int; (* kernel comm structures built during setup *)
+  buffer_pages : int;
+  wavefronts : int; (* barrier phases per run *)
+  phase_mean : float; (* us of search per wavefront per worker *)
+  straggler_allocs : int; (* kernel allocs near barriers per run *)
+}
+
+let default_config =
+  {
+    workers = 15;
+    runs = 5;
+    setup_buffers = 9;
+    buffer_pages = 2;
+    wavefronts = 12;
+    phase_mean = 12_000.0;
+    straggler_allocs = 12;
+  }
+
+type barrier = {
+  mutable waiting : int;
+  mutable generation : int;
+  b_lock : Sim.Sync.mutex;
+  b_cv : Sim.Sync.condvar;
+}
+
+let make_barrier () =
+  {
+    waiting = 0;
+    generation = 0;
+    b_lock = Sim.Sync.create_mutex "barrier";
+    b_cv = Sim.Sync.create_condvar "barrier-cv";
+  }
+
+let barrier_wait sched self b ~parties =
+  Sim.Sync.lock sched self b.b_lock;
+  let gen = b.generation in
+  b.waiting <- b.waiting + 1;
+  if b.waiting = parties then begin
+    b.waiting <- 0;
+    b.generation <- b.generation + 1;
+    Sim.Sync.broadcast sched b.b_cv
+  end
+  else
+    while b.generation = gen do
+      Sim.Sync.wait sched self b.b_cv b.b_lock
+    done;
+  Sim.Sync.unlock sched self b.b_lock
+
+let body ?(cfg = default_config) (machine : Machine.t) self =
+  let vms = machine.Machine.vms in
+  let sched = machine.Machine.sched in
+  let kmap = machine.Machine.kernel_map in
+  let prng = Sim.Prng.split (Sim.Engine.prng machine.Machine.eng) in
+  let task = Task.create vms ~name:"agora" in
+  Task.adopt vms self task;
+  (* Shared write-once memory for the search graph. *)
+  let graph_pages = 32 in
+  let graph = Vm_map.allocate vms self task.Task.map ~pages:graph_pages () in
+  (match
+     Task.touch_range vms self task.Task.map ~lo_vpn:graph ~pages:graph_pages
+       ~access:Addr.Write_access
+   with
+  | Ok () -> ()
+  | Error _ -> failwith "agora: graph init failed");
+  let barrier = make_barrier () in
+  let parties = cfg.workers + 1 in
+  let stop = ref false in
+  let setup_done = ref false in
+  (* Start the workers first: during setup they busy-poll their private
+     frontier structures, which is why the setup-phase shootdowns involve
+     11-15 processors; afterwards they run barrier-paced wavefronts and
+     spend most of their time blocked. *)
+  let workers =
+    List.init cfg.workers (fun w ->
+        let wprng = Sim.Prng.split prng in
+        Task.spawn_thread vms task ~name:(Printf.sprintf "agora%d" w)
+          (fun worker ->
+            let cpu () = Sim.Sched.current_cpu worker in
+            while not !stop do
+              if not !setup_done then
+                (* initialization: busy building private node tables *)
+                Sim.Cpu.step (cpu ()) (Sim.Prng.exponential wprng 600.0)
+              else begin
+                (* one wavefront of the search *)
+                Sim.Cpu.step (cpu ())
+                  (Sim.Prng.exponential wprng cfg.phase_mean);
+                barrier_wait sched worker barrier ~parties
+              end
+            done))
+  in
+  (* Setup phase: build the Agora communication structures in the kernel
+     while every worker is busy. *)
+  for _ = 1 to cfg.setup_buffers do
+    let b = Kmem.alloc_wired vms self kmap ~pages:cfg.buffer_pages in
+    Sim.Cpu.kernel_step (Sim.Sched.current_cpu self) 900.0;
+    Kmem.free vms self kmap ~vpn:b ~pages:cfg.buffer_pages
+  done;
+  setup_done := true;
+  (* The runs: the main thread paces the wavefront barrier.  By the time
+     its housekeeping allocations happen, most workers have drained into
+     the barrier (idle processors), so these shootdowns are small. *)
+  for run = 1 to cfg.runs do
+    for wave = 1 to cfg.wavefronts do
+      Sim.Sched.sleep sched self (Sim.Prng.uniform prng 15_000.0 24_000.0);
+      let allocs =
+        if Sim.Prng.float prng < 0.6 then 2
+        else 1
+      in
+      for _ = 1 to allocs do
+        let b = Kmem.alloc_wired vms self kmap ~pages:1 in
+        Kmem.free vms self kmap ~vpn:b ~pages:1
+      done;
+      (* Publish termination before the final barrier so that every worker
+         observes it on release and none re-enters a barrier the main
+         thread will never join. *)
+      if run = cfg.runs && wave = cfg.wavefronts then stop := true;
+      barrier_wait sched self barrier ~parties
+    done
+  done;
+  List.iter (fun th -> Sim.Sched.join sched self th) workers;
+  Task.terminate vms self task
+
+let run ?(params = Sim.Params.production) ?(cfg = default_config) () =
+  Driver.run ~params ~name:"Agora" (body ~cfg)

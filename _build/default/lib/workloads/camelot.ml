@@ -1,0 +1,127 @@
+(* The "Camelot" evaluation application: an 8-way parallel run of the
+   distributed transaction facility's performance analyzer (paper section
+   5.2).
+
+   Camelot is the only evaluation application that causes user-pmap
+   shootdowns: its multi-threaded servers make aggressive use of
+   copy-on-write and write-protection to implement recoverable virtual
+   memory.  On commit, the pages a transaction dirtied are write-protected
+   again (so the next transaction's first write is detected); reducing the
+   protection of a mapped page while sibling threads run on other
+   processors is a user shootdown, usually of a single page.  Because the
+   workers spend most of their time waiting on the (serialized) log, only
+   a few processors are typically using the pmap, keeping these shootdowns
+   cheap.  Kernel shootdowns come from recycling log buffers. *)
+
+module Addr = Hw.Addr
+module Task = Vm.Task
+module Vm_map = Vm.Vm_map
+module Kmem = Vm.Kmem
+module Machine = Vm.Machine
+
+type config = {
+  workers : int; (* 8-way parallel transaction load *)
+  transactions : int; (* total transactions across workers *)
+  db_pages : int; (* recoverable segment size *)
+  touch_per_txn_max : int; (* pages dirtied per transaction *)
+  think_mean : float; (* us of computation per transaction *)
+  log_latency : float; (* us blocked on the log force at commit *)
+  log_buffer_every : int; (* recycle a kernel log buffer every N txns *)
+}
+
+let default_config =
+  {
+    workers = 8;
+    transactions = 320;
+    db_pages = 64;
+    touch_per_txn_max = 2;
+    think_mean = 200_000.0;
+    log_latency = 700_000.0;
+    log_buffer_every = 6;
+  }
+
+let body ?(cfg = default_config) (machine : Machine.t) self =
+  let vms = machine.Machine.vms in
+  let sched = machine.Machine.sched in
+  let kmap = machine.Machine.kernel_map in
+  let prng = Sim.Prng.split (Sim.Engine.prng machine.Machine.eng) in
+  let task = Task.create vms ~name:"camelot" in
+  Task.adopt vms self task;
+  (* The recoverable segment: shared by all server threads. *)
+  let db = Vm_map.allocate vms self task.Task.map ~pages:cfg.db_pages () in
+  (match
+     Task.touch_range vms self task.Task.map ~lo_vpn:db ~pages:cfg.db_pages
+       ~access:Addr.Write_access
+   with
+  | Ok () -> ()
+  | Error _ -> failwith "camelot: segment init failed");
+  (* Start write-protected, as after recovery. *)
+  Vm_map.protect vms self task.Task.map ~lo:db ~hi:(db + cfg.db_pages)
+    ~prot:Addr.Prot_read;
+  let remaining = ref cfg.transactions in
+  let txn_lock = Sim.Sync.create_mutex "txn" in
+  let completed = ref 0 in
+  let workers =
+    List.init cfg.workers (fun w ->
+        let wprng = Sim.Prng.split prng in
+        Task.spawn_thread vms task ~name:(Printf.sprintf "camelot%d" w)
+          (fun worker ->
+            let cpu () = Sim.Sched.current_cpu worker in
+            let continue_ = ref true in
+            while !continue_ do
+              Sim.Sync.lock sched worker txn_lock;
+              if !remaining <= 0 then begin
+                continue_ := false;
+                Sim.Sync.unlock sched worker txn_lock
+              end
+              else begin
+                decr remaining;
+                Sim.Sync.unlock sched worker txn_lock;
+                (* transaction body: dirty 1..max pages of the segment *)
+                let npages = 1 + Sim.Prng.int wprng cfg.touch_per_txn_max in
+                let pages =
+                  List.init npages (fun _ -> db + Sim.Prng.int wprng cfg.db_pages)
+                in
+                let rec dirty vpn tries =
+                  (* upgrading is cheap (no shootdown); a concurrent
+                     committer can downgrade in between, so retry *)
+                  Vm_map.protect vms worker task.Task.map ~lo:vpn
+                    ~hi:(vpn + 1) ~prot:Addr.Prot_read_write;
+                  match
+                    Task.write_word vms worker task.Task.map
+                      (Addr.addr_of_vpn vpn) 42
+                  with
+                  | Ok () -> ()
+                  | Error _ when tries < 8 -> dirty vpn (tries + 1)
+                  | Error _ -> failwith "camelot: db write failed"
+                in
+                List.iter (fun vpn -> dirty vpn 0) pages;
+                Sim.Cpu.step (cpu ()) (Sim.Prng.exponential wprng cfg.think_mean);
+                (* commit: force the log (mostly blocked — this is what
+                   keeps the pmap's in-use set small), then write-protect
+                   the dirtied pages again: the user shootdown *)
+                Sim.Sched.sleep sched worker
+                  (Sim.Prng.exponential wprng cfg.log_latency);
+                List.iter
+                  (fun vpn ->
+                    Vm_map.protect vms worker task.Task.map ~lo:vpn
+                      ~hi:(vpn + 1) ~prot:Addr.Prot_read)
+                  pages;
+                (* periodically recycle a kernel log buffer *)
+                Sim.Sync.lock sched worker txn_lock;
+                incr completed;
+                let recycle = !completed mod cfg.log_buffer_every = 0 in
+                Sim.Sync.unlock sched worker txn_lock;
+                if recycle then begin
+                  let b = Kmem.alloc_wired vms worker kmap ~pages:2 in
+                  Sim.Cpu.kernel_step (cpu ()) 400.0;
+                  Kmem.free vms worker kmap ~vpn:b ~pages:2
+                end
+              end
+            done))
+  in
+  List.iter (fun th -> Sim.Sched.join sched self th) workers;
+  Task.terminate vms self task
+
+let run ?(params = Sim.Params.production) ?(cfg = default_config) () =
+  Driver.run ~params ~name:"Camelot" (body ~cfg)

@@ -1,0 +1,54 @@
+(* Shared scaffolding for the evaluation applications of paper section 5.2:
+   run a workload body on a freshly booted machine and extract the
+   shootdown measurements in the shape of Tables 1-4. *)
+
+module Summary = Instrument.Summary
+module Stats = Instrument.Stats
+
+type report = {
+  name : string;
+  runtime : float; (* simulated us, start to finish *)
+  busy_time : float; (* total CPU busy time across processors *)
+  kernel_initiators : Summary.initiator list;
+  user_initiators : Summary.initiator list;
+  responders : float list; (* sampled responder elapsed times *)
+  skipped_lazy : int; (* shootdowns avoided by the lazy check *)
+  ipis_sent : int;
+}
+
+let run ?(params = Sim.Params.production) ~name body =
+  let machine = Vm.Machine.create ~params () in
+  Vm.Machine.run machine (fun self -> body machine self);
+  let xpr = machine.Vm.Machine.xpr in
+  let ctx = machine.Vm.Machine.ctx in
+  {
+    name;
+    runtime = Vm.Machine.now machine;
+    busy_time = Vm.Machine.total_busy_time machine;
+    kernel_initiators = Summary.kernel_initiators xpr;
+    user_initiators = Summary.user_initiators xpr;
+    responders = Summary.responders xpr;
+    skipped_lazy = ctx.Core.Pmap.shootdowns_skipped_lazy;
+    ipis_sent = ctx.Core.Pmap.ipis_sent;
+  }
+
+(* Per-application overhead of shootdowns as a fraction of busy time,
+   scaled the pessimistic way the paper does (responder events were only
+   sampled on [responder_sample_cpus] of the processors, so scale them up
+   to the whole machine). *)
+let overhead_percent (params : Sim.Params.t) r =
+  let initiator =
+    Summary.total_overhead r.kernel_initiators
+    +. Summary.total_overhead r.user_initiators
+  in
+  let sample_scale =
+    float_of_int params.ncpus /. float_of_int params.responder_sample_cpus
+  in
+  let responder =
+    List.fold_left ( +. ) 0.0 r.responders *. sample_scale
+  in
+  if r.busy_time <= 0.0 then 0.0
+  else 100.0 *. (initiator +. responder) /. r.busy_time
+
+let initiator_summary rows =
+  Stats.summarize (Summary.elapsed_of rows)

@@ -1,0 +1,27 @@
+(** Shared scaffolding for the evaluation applications (paper section
+    5.2): run a workload on a fresh machine and extract the measurements
+    in the shape of Tables 1-4. *)
+
+type report = {
+  name : string;
+  runtime : float; (** simulated us *)
+  busy_time : float; (** total CPU busy time *)
+  kernel_initiators : Instrument.Summary.initiator list;
+  user_initiators : Instrument.Summary.initiator list;
+  responders : float list; (** sampled responder elapsed times *)
+  skipped_lazy : int; (** shootdowns avoided by the lazy check *)
+  ipis_sent : int;
+}
+
+val run :
+  ?params:Sim.Params.t ->
+  name:string ->
+  (Vm.Machine.t -> Sim.Sched.thread -> unit) ->
+  report
+
+val overhead_percent : Sim.Params.t -> report -> float
+(** Initiator plus sample-scaled responder time over busy time, the
+    paper's pessimistic accounting. *)
+
+val initiator_summary :
+  Instrument.Summary.initiator list -> Instrument.Stats.summary

@@ -1,0 +1,113 @@
+(* The "Mach" evaluation application: a parallel build of the kernel from
+   sources (paper section 5.2).
+
+   The build uses multiple processors purely for throughput: a stream of
+   single-threaded compile jobs, each a task of its own, with no memory
+   sharing between user tasks — so it causes *no* user-pmap shootdowns.
+   What it does cause, in quantity, is kernel-pmap shootdowns: every job
+   allocates pageable kernel buffers (I/O, name cache, temporary space),
+   uses some of them, and frees them all; freeing a mapped kernel range
+   while other processors execute kernel code forces a machine-wide
+   shootdown.  Buffers that were never touched are exactly the case the
+   lazy-evaluation check short-circuits. *)
+
+module Addr = Hw.Addr
+module Vm_object = Vm.Vm_object
+module Task = Vm.Task
+module Vm_map = Vm.Vm_map
+module Kmem = Vm.Kmem
+module Machine = Vm.Machine
+
+type config = {
+  jobs : int; (* compile jobs in the build *)
+  parallelism : int; (* concurrent jobs (make -j) *)
+  buffers_per_job : int; (* kernel buffer allocate/free pairs per job *)
+  buffer_pages : int;
+  use_fraction : float; (* fraction of buffers actually written *)
+  source_pages : int; (* mapped "source file" pages faulted per job *)
+  compute_per_buffer : float; (* us of compilation between buffer ops *)
+}
+
+let default_config =
+  {
+    jobs = 96;
+    parallelism = 15;
+    buffers_per_job = 24;
+    buffer_pages = 4;
+    use_fraction = 0.42;
+    source_pages = 12;
+    compute_per_buffer = 6_500.0;
+  }
+
+let compile_job (machine : Machine.t) self ~cfg ~prng ~job_id =
+  let vms = machine.Machine.vms in
+  let kmap = machine.Machine.kernel_map in
+  (* fork/exec: a fresh single-threaded address space *)
+  let task = Task.create vms ~name:(Printf.sprintf "cc%d" job_id) in
+  Task.adopt vms self task;
+  let cpu () = Sim.Sched.current_cpu self in
+  (* Fault in the "source file" (mapped file pages; pager round trips). *)
+  let src_obj =
+    Vm_object.create ~backing:(Vm_object.File { pagein_latency = 2_000.0 })
+      ~size:cfg.source_pages ()
+  in
+  let src =
+    Vm_map.map_object vms self task.Task.map ~obj:src_obj ~obj_offset:0
+      ~pages:cfg.source_pages ()
+  in
+  (match
+     Task.touch_range vms self task.Task.map ~lo_vpn:src
+       ~pages:cfg.source_pages ~access:Addr.Read_access
+   with
+  | Ok () -> ()
+  | Error _ -> failwith "mach_build: source fault failed");
+  (* The compilation proper: kernel buffer churn. *)
+  for _ = 1 to cfg.buffers_per_job do
+    Sim.Cpu.kernel_step (cpu ()) (Sim.Prng.exponential prng cfg.compute_per_buffer);
+    let buf = Kmem.alloc_pageable vms self kmap ~pages:cfg.buffer_pages in
+    if Sim.Prng.float prng < cfg.use_fraction then begin
+      match
+        Task.touch_range vms self kmap ~lo_vpn:buf ~pages:cfg.buffer_pages
+          ~access:Addr.Write_access
+      with
+      | Ok () -> ()
+      | Error _ -> failwith "mach_build: kernel buffer fault failed"
+    end;
+    Sim.Cpu.kernel_step (cpu ()) (Sim.Prng.exponential prng 300.0);
+    Kmem.free vms self kmap ~vpn:buf ~pages:cfg.buffer_pages
+  done;
+  (* exit: tear the address space down *)
+  Vm_map.deallocate vms self task.Task.map ~lo:src ~hi:(src + cfg.source_pages);
+  Task.terminate vms self task
+
+(* Drive [cfg.jobs] compilations, at most [cfg.parallelism] at a time. *)
+let body ?(cfg = default_config) (machine : Machine.t) self =
+  let sched = machine.Machine.sched in
+  let prng = Sim.Prng.split (Sim.Engine.prng machine.Machine.eng) in
+  let slots = Sim.Sync.create_mutex "make-slots" in
+  let slot_cv = Sim.Sync.create_condvar "make-slot-cv" in
+  let running = ref 0 in
+  let workers = ref [] in
+  for job_id = 1 to cfg.jobs do
+    Sim.Sync.lock sched self slots;
+    while !running >= cfg.parallelism do
+      Sim.Sync.wait sched self slot_cv slots
+    done;
+    incr running;
+    Sim.Sync.unlock sched self slots;
+    let job_prng = Sim.Prng.split prng in
+    let th =
+      Sim.Sched.create_thread sched ~name:(Printf.sprintf "job%d" job_id)
+        (fun worker ->
+          compile_job machine worker ~cfg ~prng:job_prng ~job_id;
+          Sim.Sync.lock sched worker slots;
+          decr running;
+          Sim.Sync.broadcast sched slot_cv;
+          Sim.Sync.unlock sched worker slots)
+    in
+    workers := th :: !workers
+  done;
+  List.iter (fun th -> Sim.Sched.join sched self th) !workers
+
+let run ?(params = Sim.Params.production) ?(cfg = default_config) () =
+  Driver.run ~params ~name:"Mach" (body ~cfg)

@@ -1,0 +1,27 @@
+(** The TLB-consistency tester of paper section 5.1.
+
+    A page (or several) of counters incremented by spinning child threads
+    through the simulated MMU; the main thread reprotects the region
+    read-only, snapshots the counters, and any counter that advances
+    afterwards was written through a stale TLB entry.  On an n-CPU
+    machine, k < n children cause exactly one shootdown involving exactly
+    k processors — the Figure 2 microbenchmark. *)
+
+type result = {
+  consistent : bool;
+  processors : int; (** processors involved in the shootdown *)
+  initiator_elapsed : float; (** us; [nan] if no shootdown event *)
+  increments_total : int;
+  violations : int; (** counters that advanced after reprotection *)
+}
+
+val warmup_time : float
+
+val run : ?pages:int -> Vm.Machine.t -> children:int -> unit -> result
+(** Run the tester on a freshly booted machine (consumes it).
+    @raise Invalid_argument if [children >= ncpus]. *)
+
+val run_fresh :
+  ?params:Sim.Params.t -> ?pages:int -> children:int -> seed:int64 -> unit ->
+  result
+(** Boot a machine with [seed] and run once. *)

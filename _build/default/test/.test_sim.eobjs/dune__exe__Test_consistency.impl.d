@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Array Core Hw Int64 List Printf QCheck QCheck_alcotest Sim Vm Workloads

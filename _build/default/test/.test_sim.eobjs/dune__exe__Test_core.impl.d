@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Hw Int64 List Option Printf Sim Vm Workloads

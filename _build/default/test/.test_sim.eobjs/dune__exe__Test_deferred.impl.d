@@ -1,0 +1,1 @@
+test/test_deferred.ml: Alcotest Hw Int64 List Printf Sim Vm Workloads

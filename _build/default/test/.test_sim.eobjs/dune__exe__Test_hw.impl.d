@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Hashtbl Hw List Option QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Array Float Gen Instrument List QCheck QCheck_alcotest String

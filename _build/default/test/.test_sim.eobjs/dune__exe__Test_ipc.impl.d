@@ -1,0 +1,1 @@
+test/test_ipc.ml: Alcotest Hw Instrument List Option Printf Sim Vm

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Core Hashtbl Hw Int64 List Option Printf QCheck QCheck_alcotest Sim Vm

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Hw List Option Printf QCheck QCheck_alcotest Sim Vm

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Instrument List Printf Sim Workloads

@@ -1,0 +1,236 @@
+(* The central correctness battery.
+
+   1. The section 5.1 tester as an oracle: with the shootdown algorithm
+      (and each safe alternative policy) the tester must find no
+      violation; with consistency management disabled it must actually
+      DETECT one — proving the oracle has teeth.
+   2. Failure injection: disabling the responder stall while ref/mod
+      writeback is blind must corrupt a pmap update (the section 3 hazard
+      that justifies the barrier).
+   3. A qcheck property: after any random sequence of VM operations by
+      concurrent threads quiesces, no TLB on any CPU grants an access the
+      pmap does not — checked structurally across every TLB entry. *)
+
+module Addr = Hw.Addr
+module Tlb = Hw.Tlb
+module Mmu = Hw.Mmu
+module Page_table = Hw.Page_table
+module Task = Vm.Task
+module Vm_map = Vm.Vm_map
+
+let quiet =
+  {
+    Sim.Params.default with
+    cost_jitter = 0.0;
+    device_intr_rate = 0.0;
+    spl_section_rate = 0.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tester under each policy *)
+
+let expect_consistent ~label params =
+  List.iter
+    (fun k ->
+      let r =
+        Workloads.Tlb_tester.run_fresh ~params ~children:k
+          ~seed:(Int64.of_int (17 * k))
+          ()
+      in
+      if not r.Workloads.Tlb_tester.consistent then
+        Alcotest.failf "%s: inconsistency with %d children (%d violations)"
+          label k r.Workloads.Tlb_tester.violations)
+    [ 1; 4; 9 ]
+
+let test_shootdown_consistent () = expect_consistent ~label:"shootdown" quiet
+
+let test_timer_flush_consistent () =
+  expect_consistent ~label:"timer-flush"
+    { quiet with consistency = Sim.Params.Timer_flush 4_000.0 }
+
+let test_hw_remote_consistent () =
+  expect_consistent ~label:"hw-remote"
+    {
+      quiet with
+      consistency = Sim.Params.Hw_remote;
+      tlb_interlocked_refmod = true;
+    }
+
+let test_software_reload_consistent () =
+  expect_consistent ~label:"software-reload"
+    {
+      quiet with
+      tlb_reload = Sim.Params.Software_reload;
+      tlb_interlocked_refmod = true;
+    }
+
+let test_asid_tagged_consistent () =
+  expect_consistent ~label:"asid" { quiet with tlb_asid_tagged = true }
+
+let test_high_priority_consistent () =
+  expect_consistent ~label:"high-priority"
+    { quiet with high_priority_shootdown = true; device_intr_rate = 1_000.0 }
+
+let test_multicast_broadcast_consistent () =
+  expect_consistent ~label:"multicast"
+    { quiet with ipi_mode = Sim.Params.Multicast };
+  expect_consistent ~label:"broadcast"
+    { quiet with ipi_mode = Sim.Params.Broadcast }
+
+let test_no_consistency_detected () =
+  (* the oracle must catch the broken configuration *)
+  let params = { quiet with consistency = Sim.Params.No_consistency } in
+  let caught = ref false in
+  List.iter
+    (fun k ->
+      let r =
+        Workloads.Tlb_tester.run_fresh ~params ~children:k
+          ~seed:(Int64.of_int (23 * k))
+          ()
+      in
+      if not r.Workloads.Tlb_tester.consistent then caught := true)
+    [ 2; 4; 8 ];
+  Alcotest.(check bool) "violations detected without consistency" true !caught
+
+let test_production_noise_consistent () =
+  (* with device interrupts and kernel masked sections in play *)
+  expect_consistent ~label:"production" Sim.Params.production
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection: the ref/mod writeback hazard *)
+
+let test_writeback_hazard_detected () =
+  (* Construct the hazard directly: a CPU holds a dirty-capable entry; the
+     PTE is torn down and reused without stalling that CPU; its next write
+     performs a blind ref/mod writeback into the reused PTE. *)
+  let params = quiet in
+  let eng = Sim.Engine.create () in
+  let bus = Sim.Bus.create eng params in
+  let cpu = Sim.Cpu.create eng bus params ~id:0 in
+  let mem = Hw.Phys_mem.create ~frames:16 in
+  let mmu = Mmu.create cpu mem params in
+  let pt = Page_table.create () in
+  Mmu.set_user mmu (Some { Mmu.space_id = 1; pt });
+  Sim.Engine.spawn eng (fun () ->
+      let pfn = Hw.Phys_mem.alloc_frame mem in
+      let pte = Page_table.set pt 8 ~pfn ~prot:Addr.Prot_read_write ~wired:false in
+      (match Mmu.read_word mmu (Addr.addr_of_vpn 8) with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "warm read");
+      (* the "initiator" reuses the PTE without waiting for this CPU *)
+      pte.Page_table.valid <- false;
+      pte.Page_table.pfn <- 3;
+      ignore (Mmu.write_word mmu (Addr.addr_of_vpn 8) 1));
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "blind writeback corrupted the reused PTE" true
+    (mmu.Mmu.corrupting_writebacks > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Structural invariant: TLBs never grant rights the pmap withholds,
+   after the machine quiesces. *)
+
+let tlb_consistent_with_pmaps (machine : Vm.Machine.t) =
+  let ctx = machine.Vm.Machine.ctx in
+  let ok = ref true in
+  Array.iteri
+    (fun id mmu ->
+      let tlb = Mmu.tlb mmu in
+      List.iter
+        (fun (e : Tlb.entry) ->
+          (* find the pmap for this entry's space *)
+          let pmap =
+            if e.Tlb.space = 0 then Some ctx.Core.Pmap.kernel_pmap
+            else
+              match ctx.Core.Pmap.current_user.(id) with
+              | Some p when p.Core.Pmap.space_id = e.Tlb.space -> Some p
+              | _ -> None
+          in
+          match pmap with
+          | None -> () (* stale space: flushed before any reuse *)
+          | Some p -> (
+              match Page_table.lookup p.Core.Pmap.pt e.Tlb.vpn with
+              | None -> ok := false (* entry for an unmapped page *)
+              | Some pte ->
+                  if pte.Page_table.pfn <> e.Tlb.pfn then ok := false;
+                  if
+                    not
+                      (Addr.prot_allows_subset ~outer:pte.Page_table.prot
+                         ~inner:e.Tlb.prot)
+                  then ok := false))
+        (Tlb.entries tlb))
+    machine.Vm.Machine.mmus;
+  !ok
+
+(* Random concurrent VM operations, then quiesce, then audit every TLB. *)
+let random_ops_preserve_consistency seed =
+  let params = { quiet with seed = Int64.of_int (seed + 1) } in
+  let machine = Vm.Machine.create ~params () in
+  let violation = ref false in
+  Vm.Machine.run machine (fun self ->
+      let vms = machine.Vm.Machine.vms in
+      let sched = machine.Vm.Machine.sched in
+      let task = Task.create vms ~name:"fuzz" in
+      Task.adopt vms self task;
+      let region = Vm_map.allocate vms self task.Task.map ~pages:12 () in
+      let prng = Sim.Prng.create (Int64.of_int (seed * 37)) in
+      let threads =
+        List.init 5 (fun i ->
+            let tp = Sim.Prng.split prng in
+            Task.spawn_thread vms task ~name:(Printf.sprintf "f%d" i)
+              (fun th ->
+                for _ = 1 to 25 do
+                  Sim.Cpu.step (Sim.Sched.current_cpu th)
+                    (Sim.Prng.uniform tp 10.0 200.0);
+                  let page = region + Sim.Prng.int tp 12 in
+                  match Sim.Prng.int tp 5 with
+                  | 0 ->
+                      Vm_map.protect vms th task.Task.map ~lo:page
+                        ~hi:(page + 1) ~prot:Addr.Prot_read
+                  | 1 ->
+                      Vm_map.protect vms th task.Task.map ~lo:page
+                        ~hi:(page + 1) ~prot:Addr.Prot_read_write
+                  | 2 ->
+                      ignore
+                        (Task.read_word vms th task.Task.map
+                           (Addr.addr_of_vpn page))
+                  | _ ->
+                      ignore
+                        (Task.write_word vms th task.Task.map
+                           (Addr.addr_of_vpn page) 1)
+                done))
+      in
+      List.iter (fun th -> Sim.Sched.join sched self th) threads;
+      if not (tlb_consistent_with_pmaps machine) then violation := true);
+  not !violation
+
+let random_ops_qcheck =
+  QCheck.Test.make ~name:"random concurrent ops leave TLBs consistent"
+    ~count:12 QCheck.small_nat random_ops_preserve_consistency
+
+let () =
+  Alcotest.run "consistency"
+    [
+      ( "policies",
+        [
+          Alcotest.test_case "shootdown" `Quick test_shootdown_consistent;
+          Alcotest.test_case "timer flush" `Quick test_timer_flush_consistent;
+          Alcotest.test_case "hw remote" `Quick test_hw_remote_consistent;
+          Alcotest.test_case "software reload" `Quick
+            test_software_reload_consistent;
+          Alcotest.test_case "asid tagged" `Quick test_asid_tagged_consistent;
+          Alcotest.test_case "high priority" `Quick
+            test_high_priority_consistent;
+          Alcotest.test_case "multicast/broadcast" `Quick
+            test_multicast_broadcast_consistent;
+          Alcotest.test_case "broken config detected" `Quick
+            test_no_consistency_detected;
+          Alcotest.test_case "production noise" `Quick
+            test_production_noise_consistent;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "writeback hazard" `Quick
+            test_writeback_hazard_detected;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest random_ops_qcheck ]);
+    ]

@@ -1,0 +1,177 @@
+(* Tests for the experiment harnesses themselves, at reduced scale: the
+   table extraction pipelines, the baseline policy comparison, and the
+   scaling measurement. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_apps_pipeline_small () =
+  let apps = Experiments.Apps.run ~scale:15 () in
+  let t2 = Experiments.Table2.of_apps apps in
+  Alcotest.(check int) "four application rows" 4
+    (List.length t2.Experiments.Table2.rows);
+  (* the Mach build must dominate kernel events *)
+  (match t2.Experiments.Table2.rows with
+  | mach :: rest ->
+      List.iter
+        (fun (r : Experiments.Table2.row) ->
+          if r.Experiments.Table2.app <> "Agora" then
+            Alcotest.(check bool)
+              (Printf.sprintf "Mach (%d) >= %s (%d)"
+                 mach.Experiments.Table2.events r.Experiments.Table2.app
+                 r.Experiments.Table2.events)
+              true
+              (mach.Experiments.Table2.events >= r.Experiments.Table2.events))
+        rest
+  | [] -> Alcotest.fail "no rows");
+  let t3 = Experiments.Table3.of_apps apps in
+  Alcotest.(check bool) "only Camelot causes user shootdowns" true
+    t3.Experiments.Table3.others_silent;
+  Alcotest.(check bool) "Camelot caused some" true
+    (t3.Experiments.Table3.events > 0);
+  let t4 = Experiments.Table4.of_apps apps in
+  List.iter
+    (fun (r : Experiments.Table4.row) ->
+      if r.Experiments.Table4.events > 5 then
+        Alcotest.(check bool)
+          (r.Experiments.Table4.app ^ ": responder cheaper")
+          true
+          (r.Experiments.Table4.summary.Instrument.Stats.mean
+          < r.Experiments.Table4.initiator_mean))
+    t4.Experiments.Table4.rows;
+  (* rendering never raises and contains every application *)
+  let s =
+    Experiments.Table2.render t2
+    ^ Experiments.Table3.render t3
+    ^ Experiments.Table4.render t4
+  in
+  List.iter
+    (fun app ->
+      if not (contains s app) then Alcotest.failf "render missing %s" app)
+    [ "Mach"; "Parthenon"; "Agora"; "Camelot" ]
+
+let test_table1_small () =
+  let t = Experiments.Table1.run ~scale:15 () in
+  Alcotest.(check bool) "lazy reduces Mach kernel events" true
+    (t.Experiments.Table1.mach_on.Experiments.Table1.kernel_events
+    < t.Experiments.Table1.mach_off.Experiments.Table1.kernel_events);
+  Alcotest.(check bool) "lazy eliminates Parthenon user events" true
+    (t.Experiments.Table1.parthenon_on.Experiments.Table1.user_events = 0
+    && t.Experiments.Table1.parthenon_off.Experiments.Table1.user_events > 0);
+  Alcotest.(check bool) "overhead reduction positive" true
+    (Experiments.Table1.overhead_reduction
+       ~off:t.Experiments.Table1.mach_off ~on_:t.Experiments.Table1.mach_on
+    > 20.0)
+
+let test_baselines_ordering () =
+  let b = Experiments.Baselines.run ~protects:4 ~sharers:4 () in
+  let find name =
+    List.find
+      (fun (r : Experiments.Baselines.row) -> r.Experiments.Baselines.policy = name)
+      b.Experiments.Baselines.rows
+  in
+  let shoot = find "shootdown" in
+  let timer = find "timer flush 10ms" in
+  let hw = find "hw remote invalidate" in
+  let broken = find "none (broken)" in
+  Alcotest.(check bool) "shootdown consistent" true
+    shoot.Experiments.Baselines.consistent;
+  Alcotest.(check bool) "timer consistent" true
+    timer.Experiments.Baselines.consistent;
+  Alcotest.(check bool) "broken detected" false
+    broken.Experiments.Baselines.consistent;
+  Alcotest.(check bool) "timer latency >> shootdown" true
+    (timer.Experiments.Baselines.protect_latency
+    > 3.0 *. shoot.Experiments.Baselines.protect_latency);
+  Alcotest.(check bool) "timer flush tax" true
+    (timer.Experiments.Baselines.tlb_flushes
+    > 2 * shoot.Experiments.Baselines.tlb_flushes);
+  Alcotest.(check bool) "hw remote cheapest correct policy" true
+    (hw.Experiments.Baselines.protect_latency
+    < shoot.Experiments.Baselines.protect_latency)
+
+let test_scaling_small () =
+  let fit = { Instrument.Stats.slope = 55.0; intercept = 430.0; r2 = 1.0 } in
+  let s = Experiments.Scaling.run ~runs:1 ~sizes:[ 16; 32 ] ~fit () in
+  Alcotest.(check int) "two sizes x two bus models" 4
+    (List.length s.Experiments.Scaling.points);
+  List.iter
+    (fun (p : Experiments.Scaling.point) ->
+      if p.Experiments.Scaling.measured <= 0.0 then
+        Alcotest.fail "non-positive measurement";
+      (* gross sanity: within 3x of the linear prediction *)
+      let ratio = p.Experiments.Scaling.measured /. p.Experiments.Scaling.predicted in
+      if ratio < 0.3 || ratio > 3.0 then
+        Alcotest.failf "ratio %.2f out of sanity band" ratio)
+    s.Experiments.Scaling.points;
+  (* the unscaled bus is never cheaper than the scaled bus at 32 CPUs *)
+  let at32 scaled =
+    (List.find
+       (fun (p : Experiments.Scaling.point) ->
+         p.Experiments.Scaling.ncpus = 32
+         && p.Experiments.Scaling.scaled_bus = scaled)
+       s.Experiments.Scaling.points)
+      .Experiments.Scaling.measured
+  in
+  Alcotest.(check bool) "1989 bus worse at 32 cpus" true
+    (at32 false >= at32 true)
+
+let test_pools_reduce_involvement () =
+  let p = Experiments.Pools.run ~ncpus:24 ~pool_sizes:[ 6 ] ~iterations:3 () in
+  match p.Experiments.Pools.rows with
+  | [ wide; pooled ] ->
+      Alcotest.(check bool) "machine-wide involves ~all" true
+        (wide.Experiments.Pools.involved >= 20);
+      Alcotest.(check bool) "pool involves pool-1" true
+        (pooled.Experiments.Pools.involved <= 6);
+      Alcotest.(check bool)
+        (Printf.sprintf "pooled (%g) cheaper than machine-wide (%g)"
+           pooled.Experiments.Pools.initiator_mean
+           wide.Experiments.Pools.initiator_mean)
+        true
+        (pooled.Experiments.Pools.initiator_mean
+        < 0.7 *. wide.Experiments.Pools.initiator_mean)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_ablations_crossover_and_variants () =
+  (match Experiments.Ablations.find_crossover ~runs:1 () with
+  | Some k ->
+      if k < 4 || k > 14 then
+        Alcotest.failf "crossover at %d outside plausible band" k
+  | None -> Alcotest.fail "no broadcast crossover found");
+  (* multicast must not be slower than unicast for many processors *)
+  let m v =
+    (Experiments.Ablations.measure_variant ~runs:2 ~procs:12 v)
+      .Experiments.Ablations.initiator_mean
+  in
+  match Experiments.Ablations.variants with
+  | base :: multicast :: _ ->
+      Alcotest.(check bool) "multicast <= unicast at 12 procs" true
+        (m multicast <= m base *. 1.02)
+  | _ -> Alcotest.fail "variant list changed"
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "apps -> tables" `Slow test_apps_pipeline_small;
+          Alcotest.test_case "table1" `Slow test_table1_small;
+        ] );
+      ( "baselines",
+        [ Alcotest.test_case "policy ordering" `Slow test_baselines_ordering ]
+      );
+      ("scaling", [ Alcotest.test_case "bands" `Slow test_scaling_small ]);
+      ( "pools",
+        [
+          Alcotest.test_case "pool shootdowns cheaper" `Slow
+            test_pools_reduce_involvement;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "crossover + multicast" `Slow
+            test_ablations_crossover_and_variants;
+        ] );
+    ]

@@ -1,0 +1,77 @@
+(* Calibration pin for the Figure 2 reproduction: a reduced sweep must
+   stay inside a tolerance band around the paper's published trend of
+   430 us + 55 us/processor, remain monotone, and show the congestion
+   departure above 12 processors.  This keeps parameter drift from
+   silently un-calibrating the simulator. *)
+
+let test_fit_bands () =
+  let r = Experiments.Figure2.run ~runs_per_point:4 ~max_procs:15 () in
+  let fit = r.Experiments.Figure2.fit in
+  Alcotest.(check bool) "all runs consistent" true
+    r.Experiments.Figure2.all_consistent;
+  if fit.Instrument.Stats.intercept < 350.0 || fit.Instrument.Stats.intercept > 510.0
+  then
+    Alcotest.failf "intercept %.0f outside [350, 510] (paper: 430)"
+      fit.Instrument.Stats.intercept;
+  if fit.Instrument.Stats.slope < 44.0 || fit.Instrument.Stats.slope > 66.0 then
+    Alcotest.failf "slope %.1f outside [44, 66] (paper: 55)"
+      fit.Instrument.Stats.slope;
+  if fit.Instrument.Stats.r2 < 0.95 then
+    Alcotest.failf "fit r2 %.3f too weak (the relation is linear)"
+      fit.Instrument.Stats.r2
+
+let test_monotone_and_knee () =
+  let r = Experiments.Figure2.run ~runs_per_point:4 ~max_procs:15 () in
+  let means =
+    List.map
+      (fun p -> p.Experiments.Figure2.mean)
+      r.Experiments.Figure2.points
+  in
+  (* monotone growth (allowing tiny noise) *)
+  let rec check_monotone = function
+    | a :: b :: rest ->
+        if b < a -. 25.0 then
+          Alcotest.failf "cost decreased from %.0f to %.0f" a b
+        else check_monotone (b :: rest)
+    | _ -> ()
+  in
+  check_monotone means;
+  (* the 13-15 processor points sit above the extrapolated trend *)
+  let fit = r.Experiments.Figure2.fit in
+  let above =
+    List.filter
+      (fun p ->
+        p.Experiments.Figure2.processors > 12
+        && p.Experiments.Figure2.mean
+           > fit.Instrument.Stats.intercept
+             +. (fit.Instrument.Stats.slope
+                *. float_of_int p.Experiments.Figure2.processors))
+      r.Experiments.Figure2.points
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "congestion departure above 12 procs (%d/3 points above trend)"
+       (List.length above))
+    true
+    (List.length above >= 2)
+
+let test_extrapolation_matches_paper () =
+  (* the paper: "6ms basic shootdown time for 100 processors" *)
+  let r = Experiments.Figure2.run ~runs_per_point:3 ~max_procs:12 () in
+  let fit = r.Experiments.Figure2.fit in
+  let at_100 =
+    fit.Instrument.Stats.intercept +. (100.0 *. fit.Instrument.Stats.slope)
+  in
+  if at_100 < 4_500.0 || at_100 > 7_500.0 then
+    Alcotest.failf "cost at 100 processors %.0f us, expected ~6000" at_100
+
+let () =
+  Alcotest.run "figure2"
+    [
+      ( "calibration",
+        [
+          Alcotest.test_case "fit bands" `Slow test_fit_bands;
+          Alcotest.test_case "monotone + knee" `Slow test_monotone_and_knee;
+          Alcotest.test_case "extrapolation" `Slow
+            test_extrapolation_matches_paper;
+        ] );
+    ]

@@ -1,0 +1,586 @@
+(* Tests for the discrete-event substrate: engine, bus, CPU/interrupts,
+   spinlocks, scheduler and blocking sync. *)
+
+let check_float msg ~eps expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.6f, got %.6f" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_delay_accumulates () =
+  let eng = Sim.Engine.create () in
+  let finished = ref 0.0 in
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.delay 5.0;
+      Sim.Engine.delay 7.5;
+      finished := Sim.Engine.now eng);
+  Sim.Engine.run eng;
+  check_float "t after two delays" ~eps:1e-9 12.5 !finished
+
+let test_fifo_same_instant () =
+  let eng = Sim.Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Sim.Engine.at eng 10.0 (fun () -> order := i :: !order)
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "FIFO at same time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_interleaving () =
+  let eng = Sim.Engine.create () in
+  let trace = ref [] in
+  let log tag = trace := (tag, Sim.Engine.now eng) :: !trace in
+  Sim.Engine.spawn eng (fun () ->
+      log "a0";
+      Sim.Engine.delay 10.0;
+      log "a10");
+  Sim.Engine.spawn eng (fun () ->
+      log "b0";
+      Sim.Engine.delay 4.0;
+      log "b4";
+      Sim.Engine.delay 4.0;
+      log "b8");
+  Sim.Engine.run eng;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "interleaved trace"
+    [ ("a0", 0.); ("b0", 0.); ("b4", 4.); ("b8", 8.); ("a10", 10.) ]
+    (List.rev !trace)
+
+let test_suspend_wake () =
+  let eng = Sim.Engine.create () in
+  let woken_at = ref (-1.0) in
+  let stash = ref None in
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.suspend (fun w -> stash := Some w);
+      woken_at := Sim.Engine.now eng);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.delay 42.0;
+      match !stash with
+      | Some w ->
+          Sim.Engine.wake eng w;
+          (* double wake must be harmless *)
+          Sim.Engine.wake eng w
+      | None -> Alcotest.fail "suspend never registered");
+  Sim.Engine.run eng;
+  check_float "woken at" ~eps:1e-9 42.0 !woken_at
+
+let test_run_until () =
+  let eng = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    Sim.Engine.after eng 10.0 tick
+  in
+  Sim.Engine.at eng 0.0 tick;
+  Sim.Engine.run_until eng 95.0;
+  Alcotest.(check int) "ticks within limit" 10 !count;
+  check_float "clock stops at limit" ~eps:1e-9 95.0 (Sim.Engine.now eng)
+
+let test_runaway () =
+  let eng = Sim.Engine.create ~max_events:100 () in
+  let rec tick () = Sim.Engine.after eng 1.0 tick in
+  Sim.Engine.at eng 0.0 tick;
+  match Sim.Engine.run eng with
+  | () -> Alcotest.fail "expected Runaway"
+  | exception Sim.Engine.Runaway _ -> ()
+
+let test_determinism () =
+  let run () =
+    let eng = Sim.Engine.create ~seed:99L () in
+    let prng = Sim.Engine.prng eng in
+    let acc = ref [] in
+    for _ = 1 to 3 do
+      Sim.Engine.spawn eng (fun () ->
+          Sim.Engine.delay (Sim.Prng.uniform prng 0.0 10.0);
+          acc := Sim.Engine.now eng :: !acc)
+    done;
+    Sim.Engine.run eng;
+    !acc
+  in
+  Alcotest.(check (list (float 0.0))) "same seed, same trace" (run ()) (run ())
+
+(* ------------------------------------------------------------------ *)
+(* Heap (via qcheck): pops come out sorted *)
+
+let heap_sorted =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_nat))
+    (fun pairs ->
+      let h = Sim.Heap.create ~dummy:0 in
+      List.iteri (fun i (t, v) -> Sim.Heap.push h t i v) pairs;
+      let prev = ref neg_infinity in
+      let ok = ref true in
+      while not (Sim.Heap.is_empty h) do
+        let t, _, _ = Sim.Heap.pop h in
+        if t < !prev then ok := false;
+        prev := t
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Sim.Prng.create 7L and b = Sim.Prng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Prng.next_int64 a)
+      (Sim.Prng.next_int64 b)
+  done
+
+let prng_float_range =
+  QCheck.Test.make ~name:"prng float in [0,1)" ~count:500 QCheck.int64
+    (fun seed ->
+      let p = Sim.Prng.create seed in
+      let x = Sim.Prng.float p in
+      x >= 0.0 && x < 1.0)
+
+let prng_int_range =
+  QCheck.Test.make ~name:"prng int in bounds" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let p = Sim.Prng.create seed in
+      let x = Sim.Prng.int p bound in
+      x >= 0 && x < bound)
+
+(* ------------------------------------------------------------------ *)
+(* Bus: FCFS, no overlapping service *)
+
+let test_bus_fcfs () =
+  let eng = Sim.Engine.create () in
+  let params = { Sim.Params.default with bus_service = 2.0; cost_jitter = 0.0 } in
+  let bus = Sim.Bus.create eng params in
+  let finish = Array.make 3 0.0 in
+  for i = 0 to 2 do
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Bus.access bus ();
+        finish.(i) <- Sim.Engine.now eng)
+  done;
+  Sim.Engine.run eng;
+  (* three transactions serialize: 2, 4, 6 *)
+  check_float "1st" ~eps:1e-9 2.0 finish.(0);
+  check_float "2nd" ~eps:1e-9 4.0 finish.(1);
+  check_float "3rd" ~eps:1e-9 6.0 finish.(2);
+  Alcotest.(check int) "count" 3 (Sim.Bus.transactions bus)
+
+let test_bus_idle_no_queue () =
+  let eng = Sim.Engine.create () in
+  let params = { Sim.Params.default with bus_service = 2.0 } in
+  let bus = Sim.Bus.create eng params in
+  let t1 = ref 0.0 in
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.delay 100.0;
+      Sim.Bus.access bus ();
+      t1 := Sim.Engine.now eng);
+  Sim.Engine.run eng;
+  check_float "no residual queueing" ~eps:1e-9 102.0 !t1
+
+(* ------------------------------------------------------------------ *)
+(* CPU + interrupts *)
+
+let quiet_params =
+  {
+    Sim.Params.default with
+    cost_jitter = 0.0;
+    device_intr_rate = 0.0;
+    spl_section_rate = 0.0;
+  }
+
+let make_cpu ?(params = quiet_params) () =
+  let eng = Sim.Engine.create () in
+  let bus = Sim.Bus.create eng params in
+  let cpu = Sim.Cpu.create eng bus params ~id:0 in
+  (eng, cpu)
+
+let test_interrupt_cuts_sleep () =
+  let eng, cpu = make_cpu () in
+  let handled_at = ref (-1.0) in
+  cpu.Sim.Cpu.shootdown_handler <- (fun c -> handled_at := Sim.Cpu.now c);
+  Sim.Engine.spawn eng (fun () -> Sim.Cpu.step cpu 1000.0);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.delay 100.0;
+      Sim.Cpu.post cpu Sim.Interrupt.Shootdown);
+  Sim.Engine.run eng;
+  (* dispatched at 100 + dispatch cost + bus writes, well before 1000 *)
+  if !handled_at < 100.0 || !handled_at > 300.0 then
+    Alcotest.failf "handler at %.1f, expected shortly after 100" !handled_at
+
+let test_interrupt_masked_until_ipl_drop () =
+  let eng, cpu = make_cpu () in
+  let handled_at = ref (-1.0) in
+  cpu.Sim.Cpu.shootdown_handler <- (fun c -> handled_at := Sim.Cpu.now c);
+  Sim.Engine.spawn eng (fun () ->
+      let saved = Sim.Cpu.set_ipl cpu Sim.Interrupt.ipl_high in
+      Sim.Cpu.raw_delay cpu 500.0;
+      Sim.Cpu.restore_ipl cpu saved;
+      Sim.Cpu.step cpu 10.0);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.delay 50.0;
+      Sim.Cpu.post cpu Sim.Interrupt.Shootdown);
+  Sim.Engine.run eng;
+  if !handled_at < 500.0 then
+    Alcotest.failf "handler ran at %.1f despite masking" !handled_at
+
+let test_interrupt_step_resumes () =
+  (* A step interrupted by a handler still accounts its full cost. *)
+  let eng, cpu = make_cpu () in
+  cpu.Sim.Cpu.shootdown_handler <- (fun c -> Sim.Cpu.raw_delay c 200.0);
+  let done_at = ref 0.0 in
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Cpu.step cpu 1000.0;
+      done_at := Sim.Cpu.now cpu);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.delay 100.0;
+      Sim.Cpu.post cpu Sim.Interrupt.Shootdown);
+  Sim.Engine.run eng;
+  if !done_at < 1200.0 then
+    Alcotest.failf "step finished at %.1f; handler time not added" !done_at
+
+let test_device_priority_over_shootdown () =
+  (* With default wiring, a device interrupt masks the shootdown IPI. *)
+  let params = { quiet_params with device_intr_service = 300.0 } in
+  let eng, cpu = make_cpu ~params () in
+  let order = ref [] in
+  cpu.Sim.Cpu.shootdown_handler <- (fun _ -> order := "shoot" :: !order);
+  cpu.Sim.Cpu.device_handler <-
+    (fun c ->
+      order := "device" :: !order;
+      Sim.Cpu.raw_delay c 300.0;
+      (* posted mid-service, must not preempt the device handler *)
+      Sim.Cpu.post cpu Sim.Interrupt.Shootdown);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Cpu.post cpu Sim.Interrupt.Device;
+      Sim.Cpu.step cpu 1000.0);
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "device first" [ "device"; "shoot" ]
+    (List.rev !order)
+
+let test_nested_interrupt_preemption () =
+  (* a higher-priority interrupt preempts a running lower-priority
+     handler; the lower one resumes and completes *)
+  let params = { quiet_params with high_priority_shootdown = true } in
+  let eng, cpu = make_cpu ~params () in
+  let order = ref [] in
+  cpu.Sim.Cpu.device_handler <-
+    (fun c ->
+      order := "dev-start" :: !order;
+      Sim.Cpu.masked_service c 200.0;
+      order := "dev-end" :: !order);
+  cpu.Sim.Cpu.shootdown_handler <- (fun _ -> order := "shoot" :: !order);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Cpu.post cpu Sim.Interrupt.Device;
+      Sim.Cpu.step cpu 600.0);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.delay 60.0;
+      (* lands mid device service; high-priority, so it nests *)
+      Sim.Cpu.post cpu Sim.Interrupt.Shootdown);
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "nested ordering"
+    [ "dev-start"; "shoot"; "dev-end" ]
+    (List.rev !order)
+
+let test_masked_service_blocks_equal_priority () =
+  (* without the high-priority option, a shootdown cannot preempt a
+     device handler: it runs only after the service completes *)
+  let eng, cpu = make_cpu () in
+  let order = ref [] in
+  cpu.Sim.Cpu.device_handler <-
+    (fun c ->
+      order := "dev-start" :: !order;
+      Sim.Cpu.masked_service c 200.0;
+      order := "dev-end" :: !order);
+  cpu.Sim.Cpu.shootdown_handler <- (fun _ -> order := "shoot" :: !order);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Cpu.post cpu Sim.Interrupt.Device;
+      Sim.Cpu.step cpu 600.0);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.delay 60.0;
+      Sim.Cpu.post cpu Sim.Interrupt.Shootdown);
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "deferred ordering"
+    [ "dev-start"; "dev-end"; "shoot" ]
+    (List.rev !order)
+
+let test_kernel_step_spl_sections_delay_shootdown () =
+  (* kernel computation with interrupt-masked sections delays shootdown
+     delivery — the cause of the paper's kernel-shootdown skew *)
+  let params =
+    { quiet_params with spl_section_rate = 50.0; spl_section_mean = 400.0 }
+  in
+  let eng, cpu = make_cpu ~params () in
+  let handled = ref 0 in
+  cpu.Sim.Cpu.shootdown_handler <- (fun _ -> incr handled);
+  Sim.Engine.spawn eng (fun () -> Sim.Cpu.kernel_step cpu 3_000.0);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.delay 100.0;
+      Sim.Cpu.post cpu Sim.Interrupt.Shootdown);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "handled eventually" 1 !handled
+
+let test_high_priority_shootdown_preempts_device_mask () =
+  let params = { quiet_params with high_priority_shootdown = true } in
+  let eng, cpu = make_cpu ~params () in
+  let handled_at = ref (-1.0) in
+  cpu.Sim.Cpu.shootdown_handler <- (fun c -> handled_at := Sim.Cpu.now c);
+  Sim.Engine.spawn eng (fun () ->
+      let saved = Sim.Cpu.set_ipl cpu Sim.Interrupt.ipl_device in
+      Sim.Cpu.raw_delay cpu 100.0;
+      Sim.Cpu.step cpu 500.0;
+      (* step at device IPL: shootdown should still get through *)
+      Sim.Cpu.restore_ipl cpu saved);
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.delay 150.0;
+      Sim.Cpu.post cpu Sim.Interrupt.Shootdown);
+  Sim.Engine.run eng;
+  if !handled_at < 0.0 || !handled_at > 400.0 then
+    Alcotest.failf "high-priority shootdown at %.1f, wanted ~150-250"
+      !handled_at
+
+(* ------------------------------------------------------------------ *)
+(* Spinlock *)
+
+let test_spinlock_mutual_exclusion () =
+  let eng = Sim.Engine.create () in
+  let params = quiet_params in
+  let bus = Sim.Bus.create eng params in
+  let cpus = Array.init 4 (fun id -> Sim.Cpu.create eng bus params ~id) in
+  let lock = Sim.Spinlock.create "test" in
+  let inside = ref 0 and max_inside = ref 0 and total = ref 0 in
+  Array.iter
+    (fun cpu ->
+      Sim.Engine.spawn eng (fun () ->
+          for _ = 1 to 5 do
+            Sim.Spinlock.with_lock lock cpu (fun () ->
+                incr inside;
+                if !inside > !max_inside then max_inside := !inside;
+                incr total;
+                Sim.Cpu.raw_delay cpu 20.0;
+                decr inside)
+          done))
+    cpus;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "never two holders" 1 !max_inside;
+  Alcotest.(check int) "all critical sections ran" 20 !total
+
+let test_spinlock_raises_ipl () =
+  let eng, cpu = make_cpu () in
+  let lock = Sim.Spinlock.create ~level:Sim.Interrupt.ipl_vm "vm" in
+  let ipl_inside = ref (-1) in
+  Sim.Engine.spawn eng (fun () ->
+      let saved = Sim.Spinlock.acquire lock cpu in
+      ipl_inside := Sim.Cpu.ipl cpu;
+      Sim.Spinlock.release lock cpu ~saved_ipl:saved;
+      Alcotest.(check int) "ipl restored" Sim.Interrupt.ipl_none
+        (Sim.Cpu.ipl cpu));
+  Sim.Engine.run eng;
+  Alcotest.(check int) "ipl raised while held" Sim.Interrupt.ipl_vm !ipl_inside
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+let make_sched ?(ncpus = 4) ?(params = quiet_params) () =
+  let params = { params with ncpus } in
+  let eng = Sim.Engine.create () in
+  let bus = Sim.Bus.create eng params in
+  let cpus = Array.init ncpus (fun id -> Sim.Cpu.create eng bus params ~id) in
+  let sched = Sim.Sched.create eng cpus params in
+  Sim.Sched.start sched;
+  (eng, sched)
+
+let run_to_completion eng sched =
+  let guard = ref 0 in
+  while Sim.Sched.live_threads sched > 0 && Sim.Engine.step eng do
+    incr guard;
+    if !guard > 10_000_000 then Alcotest.fail "scheduler wedged"
+  done;
+  Sim.Sched.stop sched;
+  Sim.Engine.run eng
+
+let test_threads_run_in_parallel () =
+  let eng, sched = make_sched ~ncpus:4 () in
+  let ends = ref [] in
+  for _ = 1 to 4 do
+    ignore
+      (Sim.Sched.create_thread sched (fun th ->
+           let cpu = Sim.Sched.current_cpu th in
+           Sim.Cpu.step cpu 1000.0;
+           ends := Sim.Engine.now eng :: !ends))
+  done;
+  run_to_completion eng sched;
+  Alcotest.(check int) "all finished" 4 (List.length !ends);
+  (* On 4 CPUs the four 1000us threads overlap: all end well before 4000. *)
+  List.iter
+    (fun t ->
+      if t > 2000.0 then Alcotest.failf "thread ended at %.0f: no overlap" t)
+    !ends
+
+let test_more_threads_than_cpus () =
+  let eng, sched = make_sched ~ncpus:2 () in
+  let finished = ref 0 in
+  for _ = 1 to 6 do
+    ignore
+      (Sim.Sched.create_thread sched (fun th ->
+           let cpu = Sim.Sched.current_cpu th in
+           Sim.Cpu.step cpu 100.0;
+           incr finished))
+  done;
+  run_to_completion eng sched;
+  Alcotest.(check int) "all 6 finished on 2 cpus" 6 !finished
+
+let test_bound_threads () =
+  let eng, sched = make_sched ~ncpus:4 () in
+  let where = Array.make 4 (-1) in
+  for i = 0 to 3 do
+    ignore
+      (Sim.Sched.create_thread sched ~bound:i (fun th ->
+           let cpu = Sim.Sched.current_cpu th in
+           Sim.Cpu.step cpu 50.0;
+           where.(i) <- Sim.Cpu.id cpu))
+  done;
+  run_to_completion eng sched;
+  Alcotest.(check (array int)) "each on its cpu" [| 0; 1; 2; 3 |] where
+
+let test_join () =
+  let eng, sched = make_sched () in
+  let order = ref [] in
+  let worker =
+    Sim.Sched.create_thread sched ~name:"worker" (fun th ->
+        Sim.Cpu.step (Sim.Sched.current_cpu th) 500.0;
+        order := "worker" :: !order)
+  in
+  ignore
+    (Sim.Sched.create_thread sched ~name:"main" (fun th ->
+         Sim.Sched.join sched th worker;
+         order := "joiner" :: !order));
+  run_to_completion eng sched;
+  Alcotest.(check (list string)) "join ordering" [ "worker"; "joiner" ]
+    (List.rev !order)
+
+let test_sleep () =
+  let eng, sched = make_sched () in
+  let woke = ref 0.0 in
+  ignore
+    (Sim.Sched.create_thread sched (fun th ->
+         Sim.Sched.sleep sched th 1234.0;
+         woke := Sim.Engine.now eng));
+  run_to_completion eng sched;
+  if !woke < 1234.0 then Alcotest.failf "woke too early: %.1f" !woke;
+  if !woke > 1600.0 then Alcotest.failf "woke too late: %.1f" !woke
+
+let test_mutex_condvar_producer_consumer () =
+  let eng, sched = make_sched ~ncpus:2 () in
+  let m = Sim.Sync.create_mutex "m" in
+  let cv = Sim.Sync.create_condvar "cv" in
+  let queue = Queue.create () in
+  let consumed = ref [] in
+  ignore
+    (Sim.Sched.create_thread sched ~name:"consumer" (fun th ->
+         let rec consume n =
+           if n > 0 then begin
+             Sim.Sync.lock sched th m;
+             while Queue.is_empty queue do
+               Sim.Sync.wait sched th cv m
+             done;
+             let v = Queue.pop queue in
+             Sim.Sync.unlock sched th m;
+             consumed := v :: !consumed;
+             consume (n - 1)
+           end
+         in
+         consume 5));
+  ignore
+    (Sim.Sched.create_thread sched ~name:"producer" (fun th ->
+         for i = 1 to 5 do
+           Sim.Cpu.step (Sim.Sched.current_cpu th) 30.0;
+           Sim.Sync.lock sched th m;
+           Queue.push i queue;
+           Sim.Sync.signal sched cv;
+           Sim.Sync.unlock sched th m
+         done));
+  run_to_completion eng sched;
+  Alcotest.(check (list int)) "all values consumed in order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !consumed)
+
+let test_yield_shares_cpu () =
+  let eng, sched = make_sched ~ncpus:1 () in
+  let trace = ref [] in
+  for i = 1 to 2 do
+    ignore
+      (Sim.Sched.create_thread sched (fun th ->
+           for step = 1 to 3 do
+             Sim.Cpu.step (Sim.Sched.current_cpu th) 10.0;
+             trace := (i, step) :: !trace;
+             Sim.Sched.yield sched th
+           done))
+  done;
+  run_to_completion eng sched;
+  let t = List.rev !trace in
+  Alcotest.(check int) "six steps" 6 (List.length t);
+  Alcotest.(check (list (pair int int)))
+    "alternation"
+    [ (1, 1); (2, 1); (1, 2); (2, 2); (1, 3); (2, 3) ]
+    t
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "delay accumulates" `Quick test_delay_accumulates;
+          Alcotest.test_case "fifo same instant" `Quick test_fifo_same_instant;
+          Alcotest.test_case "interleaving" `Quick test_interleaving;
+          Alcotest.test_case "suspend/wake" `Quick test_suspend_wake;
+          Alcotest.test_case "run_until" `Quick test_run_until;
+          Alcotest.test_case "runaway guard" `Quick test_runaway;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ("heap", List.map QCheck_alcotest.to_alcotest [ heap_sorted ]);
+      ( "prng",
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prng_float_range; prng_int_range ] );
+      ( "bus",
+        [
+          Alcotest.test_case "fcfs" `Quick test_bus_fcfs;
+          Alcotest.test_case "idle no queue" `Quick test_bus_idle_no_queue;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "interrupt cuts sleep" `Quick
+            test_interrupt_cuts_sleep;
+          Alcotest.test_case "masking defers" `Quick
+            test_interrupt_masked_until_ipl_drop;
+          Alcotest.test_case "step resumes after handler" `Quick
+            test_interrupt_step_resumes;
+          Alcotest.test_case "device masks shootdown" `Quick
+            test_device_priority_over_shootdown;
+          Alcotest.test_case "high-priority shootdown" `Quick
+            test_high_priority_shootdown_preempts_device_mask;
+          Alcotest.test_case "nested interrupt preemption" `Quick
+            test_nested_interrupt_preemption;
+          Alcotest.test_case "equal priority defers" `Quick
+            test_masked_service_blocks_equal_priority;
+          Alcotest.test_case "spl sections delay shootdowns" `Quick
+            test_kernel_step_spl_sections_delay_shootdown;
+        ] );
+      ( "spinlock",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick
+            test_spinlock_mutual_exclusion;
+          Alcotest.test_case "ipl pairing" `Quick test_spinlock_raises_ipl;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "parallel threads" `Quick
+            test_threads_run_in_parallel;
+          Alcotest.test_case "oversubscription" `Quick
+            test_more_threads_than_cpus;
+          Alcotest.test_case "bound threads" `Quick test_bound_threads;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "sleep" `Quick test_sleep;
+          Alcotest.test_case "producer/consumer" `Quick
+            test_mutex_condvar_producer_consumer;
+          Alcotest.test_case "yield alternation" `Quick test_yield_shares_cpu;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Shape tests for the evaluation applications: each at a reduced scale,
+   asserting the qualitative signatures the paper reports per workload. *)
+
+module Summary = Instrument.Summary
+module Stats = Instrument.Stats
+
+let small_mach =
+  {
+    Workloads.Mach_build.default_config with
+    Workloads.Mach_build.jobs = 10;
+    buffers_per_job = 8;
+    compute_per_buffer = 1_200.0;
+  }
+
+let small_parthenon =
+  {
+    Workloads.Parthenon.default_config with
+    Workloads.Parthenon.runs = 2;
+    initial_work = 12;
+    max_items = 50;
+    expand_mean = 1_500.0;
+  }
+
+let small_agora =
+  { Workloads.Agora.default_config with Workloads.Agora.runs = 2; wavefronts = 5 }
+
+let small_camelot =
+  {
+    Workloads.Camelot.default_config with
+    Workloads.Camelot.transactions = 40;
+    think_mean = 10_000.0;
+    log_latency = 30_000.0;
+  }
+
+let test_mach_build_shape () =
+  let r = Workloads.Mach_build.run ~cfg:small_mach () in
+  Alcotest.(check int)
+    "no user shootdowns (tasks do not share memory)" 0
+    (List.length r.Workloads.Driver.user_initiators);
+  Alcotest.(check bool) "kernel shootdowns happened" true
+    (List.length r.Workloads.Driver.kernel_initiators > 0);
+  Alcotest.(check bool) "lazy evaluation skipped some" true
+    (r.Workloads.Driver.skipped_lazy > 0)
+
+let test_mach_lazy_reduces_events () =
+  let run lazy_on =
+    let params = { Sim.Params.production with lazy_check = lazy_on } in
+    let r = Workloads.Mach_build.run ~params ~cfg:small_mach () in
+    List.length r.Workloads.Driver.kernel_initiators
+  in
+  let off = run false and on_ = run true in
+  Alcotest.(check bool)
+    (Printf.sprintf "lazy (%d) < no-lazy (%d)" on_ off)
+    true (on_ < off)
+
+let test_parthenon_shape () =
+  let lazy_run =
+    Workloads.Parthenon.run ~cfg:small_parthenon ()
+  in
+  Alcotest.(check int) "lazy eval eliminates user shootdowns" 0
+    (List.length lazy_run.Workloads.Driver.user_initiators);
+  let params = { Sim.Params.production with lazy_check = false } in
+  let eager = Workloads.Parthenon.run ~params ~cfg:small_parthenon () in
+  (* without lazy evaluation the stack-guard reprotects shoot: roughly one
+     per started worker after the first *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no-lazy user shootdowns (%d) appear"
+       (List.length eager.Workloads.Driver.user_initiators))
+    true
+    (List.length eager.Workloads.Driver.user_initiators
+    >= small_parthenon.Workloads.Parthenon.runs
+       * (small_parthenon.Workloads.Parthenon.workers - 3))
+
+let test_agora_bimodal () =
+  let r = Workloads.Agora.run ~cfg:small_agora () in
+  let inits = r.Workloads.Driver.kernel_initiators in
+  Alcotest.(check bool) "events happened" true (List.length inits > 10);
+  let big =
+    List.filter (fun i -> i.Summary.processors >= 8) inits
+  in
+  let small =
+    List.filter (fun i -> i.Summary.processors <= 4) inits
+  in
+  Alcotest.(check bool) "setup shootdowns involve many processors" true
+    (List.length big > 0);
+  Alcotest.(check bool) "run shootdowns involve few processors" true
+    (List.length small > 0);
+  let bigm = Stats.mean (Summary.elapsed_of big) in
+  let smallm = Stats.mean (Summary.elapsed_of small) in
+  Alcotest.(check bool)
+    (Printf.sprintf "many-proc (%f) dearer than few-proc (%f)" bigm smallm)
+    true (bigm > smallm)
+
+let test_camelot_shape () =
+  let r = Workloads.Camelot.run ~cfg:small_camelot () in
+  Alcotest.(check bool) "user shootdowns happen" true
+    (List.length r.Workloads.Driver.user_initiators > 0);
+  let pages =
+    Summary.pages_of r.Workloads.Driver.user_initiators |> Stats.mean
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "typical user shootdown is ~1 page (%.2f)" pages)
+    true
+    (pages < 1.5)
+
+let test_tester_increments_sane () =
+  let r = Workloads.Tlb_tester.run_fresh ~children:3 ~seed:3L () in
+  Alcotest.(check bool) "children made progress" true
+    (r.Workloads.Tlb_tester.increments_total > 100)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "mach-build",
+        [
+          Alcotest.test_case "shape" `Quick test_mach_build_shape;
+          Alcotest.test_case "lazy reduces events" `Quick
+            test_mach_lazy_reduces_events;
+        ] );
+      ("parthenon", [ Alcotest.test_case "shape" `Quick test_parthenon_shape ]);
+      ("agora", [ Alcotest.test_case "bimodal" `Quick test_agora_bimodal ]);
+      ("camelot", [ Alcotest.test_case "shape" `Quick test_camelot_shape ]);
+      ( "tester",
+        [ Alcotest.test_case "progress" `Quick test_tester_increments_sane ] );
+    ]
