@@ -1,0 +1,58 @@
+(* CI perf-regression gate: compare a fresh smoke report against the
+   committed baseline and exit non-zero on a regression.
+
+     check_regression.exe --baseline bench/baseline_smoke.json \
+                          --current BENCH_smoke.json [--tolerance 0.15]
+
+   Fails when the Figure 2 initiator cost (from the fit coefficients)
+   slows down by more than the tolerance, or when any shootdown counter
+   drifts beyond a small allowance.  See docs/OBSERVABILITY.md for the
+   report schema and the baseline refresh procedure. *)
+
+let read_report path =
+  let text =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "check_regression: %s\n" msg;
+      exit 2
+  in
+  match Instrument.Json.of_string text with
+  | Ok json -> json
+  | Error msg ->
+      Printf.eprintf "check_regression: %s: %s\n" path msg;
+      exit 2
+
+let () =
+  let baseline = ref "" and current = ref "" and tolerance = ref 0.15 in
+  let spec =
+    [
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE Committed baseline report (required)." );
+      ( "--current",
+        Arg.Set_string current,
+        "FILE Freshly generated report (required)." );
+      ( "--tolerance",
+        Arg.Set_float tolerance,
+        "FRAC Allowed initiator-cost slowdown (default 0.15)." );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "check_regression.exe --baseline FILE --current FILE [--tolerance FRAC]";
+  if !baseline = "" || !current = "" then begin
+    Printf.eprintf "check_regression: --baseline and --current are required\n";
+    exit 2
+  end;
+  let v =
+    Experiments.Bench_report.compare_runs ~tolerance:!tolerance
+      ~baseline:(read_report !baseline) ~current:(read_report !current) ()
+  in
+  List.iter (Printf.printf "note: %s\n") v.Experiments.Bench_report.notes;
+  if Experiments.Bench_report.passed v then print_endline "PASS"
+  else begin
+    List.iter
+      (Printf.printf "FAIL: %s\n")
+      v.Experiments.Bench_report.failures;
+    exit 1
+  end

@@ -2,6 +2,16 @@
    paper's evaluation (sections 5-9) and also times the regeneration
    kernels themselves with Bechamel (one Test.make per table/figure).
 
+   Modes:
+     (default)    — the full run: every section below plus Bechamel
+     --smoke      — small deterministic subset for CI: Figure 2 at
+                    1..8 processors x 3 runs, Table 1 and the
+                    applications at 10 % scale; skips the baselines,
+                    scaling, pools, ablations and Bechamel sections
+     --json FILE  — additionally write the Instrument.Metrics report
+                    (schema-stable JSON; byte-identical across runs
+                    with the same seed) to FILE
+
    Output sections:
      FIGURE 2  — basic shootdown costs + least-squares fit
      TABLE 1   — lazy evaluation on/off
@@ -15,19 +25,25 @@
 let section name =
   Printf.printf "\n================ %s ================\n%!" name
 
-let () =
-  let t0 = Unix.gettimeofday () in
-
+(* The shared core: Figure 2, Table 1 and the application data set that
+   Tables 2-4 and the overhead analysis slice.  These three results feed
+   the JSON report in both modes. *)
+let run_core ~smoke =
   section "FIGURE 2: BASIC COSTS OF TLB SHOOTDOWN";
-  let fig = Experiments.Figure2.run () in
+  let fig =
+    if smoke then
+      Experiments.Figure2.run ~max_procs:8 ~runs_per_point:3 ~fit_limit:8 ()
+    else Experiments.Figure2.run ()
+  in
   print_string (Experiments.Figure2.render fig);
 
   section "TABLE 1: EFFECT OF LAZY EVALUATION";
-  let t1 = Experiments.Table1.run () in
+  let scale = if smoke then 10 else 100 in
+  let t1 = Experiments.Table1.run ~scale () in
   print_string (Experiments.Table1.render t1);
 
   section "TABLES 2-4: APPLICATION SHOOTDOWN STATISTICS";
-  let apps = Experiments.Apps.run () in
+  let apps = Experiments.Apps.run ~scale () in
   print_string (Experiments.Table2.render (Experiments.Table2.of_apps apps));
   let big, small = Experiments.Table2.agora_split apps in
   Printf.printf
@@ -43,6 +59,9 @@ let () =
   let o = Experiments.Overhead.of_apps apps ~fit:fig.Experiments.Figure2.fit in
   print_string (Experiments.Overhead.render o);
 
+  (fig, t1, apps)
+
+let run_extensions fig =
   section "SECTION 3: BASELINE POLICY COMPARISON";
   let b = Experiments.Baselines.run () in
   print_string (Experiments.Baselines.render b);
@@ -60,8 +79,9 @@ let () =
 
   section "SECTION 9: HARDWARE SUPPORT ABLATIONS";
   let a = Experiments.Ablations.run () in
-  print_string (Experiments.Ablations.render a);
+  print_string (Experiments.Ablations.render a)
 
+let run_bechamel () =
   section "BECHAMEL: REGENERATION KERNEL COSTS";
   let open Bechamel in
   let tester ~children ~policy () =
@@ -121,7 +141,33 @@ let () =
       match Analyze.OLS.estimates result with
       | Some [ est ] -> Printf.printf "%-32s %10.2f ms/run\n" name (est /. 1e6)
       | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
-    results;
+    results
 
+let () =
+  let smoke = ref false and json_out = ref "" in
+  let spec =
+    [
+      ("--smoke", Arg.Set smoke, " Small deterministic run for CI.");
+      ( "--json",
+        Arg.Set_string json_out,
+        "FILE Write the metrics report to FILE." );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "main.exe [--smoke] [--json FILE]";
+  let t0 = Unix.gettimeofday () in
+  let fig, t1, apps = run_core ~smoke:!smoke in
+  if not !smoke then begin
+    run_extensions fig;
+    run_bechamel ()
+  end;
+  if !json_out <> "" then begin
+    let mode = if !smoke then "smoke" else "full" in
+    let report = Experiments.Bench_report.report ~mode ~fig ~t1 ~apps in
+    Out_channel.with_open_bin !json_out (fun oc ->
+        output_string oc (Instrument.Json.to_string report));
+    Printf.printf "\nwrote %s report to %s\n" mode !json_out
+  end;
   Printf.printf "\ntotal bench wall time: %.1f s\n"
     (Unix.gettimeofday () -. t0)

@@ -6,6 +6,7 @@
      tlbshoot overhead [--scale 100]
      tlbshoot ablations [--runs 3]
      tlbshoot tester --children 4 [--no-consistency | --policy ...]
+     tlbshoot trace [--workload tester] [--children 4] [--scale 10] [--json]
      tlbshoot all [--scale 100] *)
 
 open Cmdliner
@@ -78,6 +79,40 @@ let run_tester ~children ~policy =
     r.Workloads.Tlb_tester.violations r.Workloads.Tlb_tester.processors
     r.Workloads.Tlb_tester.initiator_elapsed
     r.Workloads.Tlb_tester.increments_total
+
+(* Replay a workload with the structured span tracer attached and dump
+   the stream — the machine-readable "anatomy of a shootdown". *)
+let run_trace ~workload ~children ~scale ~emit_json =
+  let tr = Instrument.Trace.create () in
+  (match String.lowercase_ascii workload with
+  | "tester" ->
+      let machine = Vm.Machine.create ~params:Sim.Params.default () in
+      machine.Vm.Machine.ctx.Core.Pmap.trace <- Some tr;
+      Sim.Engine.set_tracer machine.Vm.Machine.eng (Some tr);
+      ignore (Workloads.Tlb_tester.run machine ~children ())
+  | "mach" ->
+      ignore
+        (Workloads.Mach_build.run ~trace:tr
+           ~cfg:(Experiments.Apps.scaled_mach scale) ())
+  | "parthenon" ->
+      ignore
+        (Workloads.Parthenon.run ~trace:tr
+           ~cfg:(Experiments.Apps.scaled_parthenon scale) ())
+  | "agora" ->
+      ignore
+        (Workloads.Agora.run ~trace:tr
+           ~cfg:(Experiments.Apps.scaled_agora scale) ())
+  | "camelot" ->
+      ignore
+        (Workloads.Camelot.run ~trace:tr
+           ~cfg:(Experiments.Apps.scaled_camelot scale) ())
+  | other ->
+      failwith
+        (Printf.sprintf
+           "unknown workload %S (tester|mach|parthenon|agora|camelot)" other));
+  if emit_json then
+    print_string (Instrument.Json.to_string (Instrument.Trace.to_json tr))
+  else print_string (Instrument.Trace.render tr)
 
 let print_all ~scale ~runs =
   print_figure2 ~runs ~max_procs:15;
@@ -156,6 +191,31 @@ let tester_cmd =
       const (fun children policy -> run_tester ~children ~policy)
       $ children_arg $ policy_arg)
 
+let trace_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt string "tester"
+      & info [ "workload" ]
+          ~doc:"Workload to replay: tester|mach|parthenon|agora|camelot.")
+  in
+  let trace_scale_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "scale" ] ~doc:"Workload scale percent (applications only).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the span stream as a JSON array.")
+  in
+  cmd "trace"
+    "Replay a workload with the span tracer attached and dump the stream"
+    Term.(
+      const (fun workload children scale emit_json ->
+          run_trace ~workload ~children ~scale ~emit_json)
+      $ workload_arg $ children_arg $ trace_scale_arg $ json_arg)
+
 let all_cmd =
   cmd "all" "Run every experiment"
     Term.(
@@ -180,6 +240,7 @@ let () =
         pools_cmd;
         ablations_cmd;
         tester_cmd;
+        trace_cmd;
         all_cmd;
       ]
   in

@@ -32,6 +32,9 @@ type ctx = {
   mmus : Mmu.t array;
   mem : Hw.Phys_mem.t;
   xpr : Instrument.Xpr.t;
+  mutable trace : Instrument.Trace.t option;
+      (* structured span stream; attached by the trace CLI / workload
+         drivers, None (and cost-free) otherwise *)
   (* --- shootdown state (paper Figure 1) --- *)
   active : bool array; (* processors actively translating *)
   action_needed : bool array;
@@ -82,6 +85,7 @@ let create_ctx ~eng ~bus ~cpus ~mmus ~mem ~params ~xpr =
       mmus;
       mem;
       xpr;
+      trace = None;
       active = Array.make n false;
       action_needed = Array.make n false;
       queues =

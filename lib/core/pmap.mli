@@ -26,6 +26,8 @@ type ctx = {
   mmus : Hw.Mmu.t array;
   mem : Hw.Phys_mem.t;
   xpr : Instrument.Xpr.t;
+  mutable trace : Instrument.Trace.t option;
+      (** structured span stream; [None] (and cost-free) unless attached *)
   active : bool array;  (** processors actively translating *)
   action_needed : bool array;
   queues : Action.queue array;

@@ -1,13 +1,20 @@
-(* Detailed tracing of individual shootdowns, for the "anatomy" views:
-   every phase transition of the initiator and of each responder is
-   recorded in the xpr buffer as a Custom event.  Off by default (the
-   summary events of Xpr.Shoot_initiator/_responder are always on); turn
-   it on with [enable] to dissect a specific run.
+(* Detailed tracing of individual shootdowns, for the "anatomy" views and
+   the structured span stream: every phase transition of the initiator and
+   of each responder is recorded in the xpr buffer as a Custom event, and
+   — when a tracer is attached to the context — emitted as a named
+   Instrument.Trace span with typed attributes (target CPU, per-CPU queue
+   depth, flush-vs-invalidate decisions).
+
+   The xpr side is off by default (the summary events of
+   Xpr.Shoot_initiator/_responder are always on); turn it on with [enable]
+   to dissect a specific run.  The span side costs one branch while
+   ctx.trace is None.
 
    The renderer produces a chronological, per-CPU log of one or more
    shootdowns — the Figure 1 protocol made visible. *)
 
 module Xpr = Instrument.Xpr
+module Trace = Instrument.Trace
 
 (* Event codes (Xpr.Custom payloads). *)
 let c_initiator_start = 10
@@ -25,10 +32,54 @@ let enabled = ref false
 let enable () = enabled := true
 let disable () = enabled := false
 
+(* Span names for the structured stream (see docs/OBSERVABILITY.md). *)
+let span_name = function
+  | 10 -> "initiator.start"
+  | 11 -> "initiator.queue-action"
+  | 12 -> "initiator.ipi"
+  | 13 -> "initiator.barrier-done"
+  | 14 -> "initiator.update-done"
+  | 20 -> "responder.enter"
+  | 21 -> "responder.ack"
+  | 22 -> "responder.drain"
+  | 23 -> "responder.done"
+  | 24 -> "idle.drain"
+  | n -> Printf.sprintf "custom.%d" n
+
 let record ctx ~code ~cpu ?(arg2 = 0) () =
   if !enabled then
     Xpr.record ctx.Pmap.xpr ~code:(Xpr.Custom code) ~cpu
-      ~timestamp:(Sim.Engine.now ctx.Pmap.eng) ~arg2 ()
+      ~timestamp:(Sim.Engine.now ctx.Pmap.eng) ~arg2 ();
+  match ctx.Pmap.trace with
+  | None -> ()
+  | Some tr ->
+      let attrs =
+        if code = c_queue_action then
+          (* depth is read under the target's queue lock, still held *)
+          let q = ctx.Pmap.queues.(arg2) in
+          [
+            ("target", Trace.Int arg2);
+            ("queue_depth", Trace.Int q.Action.count);
+            ("overflow", Trace.Bool q.Action.overflow);
+          ]
+        else if code = c_ipi_sent then [ ("target", Trace.Int arg2) ]
+        else []
+      in
+      Trace.emit tr ~name:(span_name code) ~cpu
+        ~at:(Sim.Engine.now ctx.Pmap.eng) ~attrs ()
+
+(* The flush-vs-invalidate decision of the responder/initiator TLB work
+   (omitted detail 1 of Figure 1), only visible in the span stream. *)
+let record_tlb ctx ~cpu ~space ~pages ~flush =
+  match ctx.Pmap.trace with
+  | None -> ()
+  | Some tr ->
+      Trace.emit tr
+        ~name:(if flush then "tlb.flush" else "tlb.invalidate")
+        ~cpu
+        ~at:(Sim.Engine.now ctx.Pmap.eng)
+        ~attrs:[ ("space", Trace.Int space); ("pages", Trace.Int pages) ]
+        ()
 
 let label_of = function
   | 10 -> "initiator: enter (lock held, local TLB invalidated)"

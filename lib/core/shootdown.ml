@@ -31,7 +31,9 @@ let invalidate_local ctx (cpu : Sim.Cpu.t) ~space ~lo ~hi =
   let params = ctx.Pmap.params in
   let tlb = Mmu.tlb ctx.Pmap.mmus.(Sim.Cpu.id cpu) in
   let pages = hi - lo in
-  if pages >= params.tlb_flush_threshold then begin
+  let flush = pages >= params.tlb_flush_threshold in
+  Shoot_trace.record_tlb ctx ~cpu:(Sim.Cpu.id cpu) ~space ~pages ~flush;
+  if flush then begin
     Tlb.flush_all tlb;
     Sim.Cpu.raw_delay cpu params.tlb_flush_cost
   end
@@ -54,6 +56,8 @@ let perform_action ctx (cpu : Sim.Cpu.t) = function
           | None -> -1
         in
         if space <> 0 && space <> current then begin
+          Shoot_trace.record_tlb ctx ~cpu:(Sim.Cpu.id cpu) ~space
+            ~pages:(hi - lo) ~flush:true;
           Tlb.flush_space (Mmu.tlb ctx.Pmap.mmus.(Sim.Cpu.id cpu)) ~space;
           Sim.Cpu.raw_delay cpu params.tlb_flush_cost
         end
@@ -61,6 +65,8 @@ let perform_action ctx (cpu : Sim.Cpu.t) = function
       end
       else invalidate_local ctx cpu ~space ~lo ~hi
   | Action.Flush_space space ->
+      Shoot_trace.record_tlb ctx ~cpu:(Sim.Cpu.id cpu) ~space ~pages:0
+        ~flush:true;
       Tlb.flush_space (Mmu.tlb ctx.Pmap.mmus.(Sim.Cpu.id cpu)) ~space;
       Sim.Cpu.raw_delay cpu ctx.Pmap.params.tlb_flush_cost
 
@@ -76,6 +82,8 @@ let process_queued_actions ctx (cpu : Sim.Cpu.t) =
   Sim.Spinlock.release q.Action.lock cpu ~saved_ipl:saved;
   match work with
   | `Flush_everything ->
+      (* queue overflowed: the whole TLB goes, whatever was queued *)
+      Shoot_trace.record_tlb ctx ~cpu:id ~space:(-1) ~pages:0 ~flush:true;
       Tlb.flush_all (Mmu.tlb ctx.Pmap.mmus.(id));
       Sim.Cpu.raw_delay cpu ctx.Pmap.params.tlb_flush_cost;
       true

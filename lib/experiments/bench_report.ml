@@ -1,0 +1,198 @@
+(* Machine-readable benchmark report and the perf-regression gate.
+
+   [metrics_of] flattens the Figure 2 / Table 1-4 results into an
+   Instrument.Metrics registry (counters for shootdown event counts,
+   gauges for fit coefficients and means, histograms with the paper's
+   percentile set for the elapsed-time distributions); [to_json] wraps the
+   snapshot with a schema version and run mode.  Metric names sort
+   stably, and the serializer is canonical, so two runs with the same
+   seed produce byte-identical reports.
+
+   [compare_runs] is the CI gate: a fresh report against a committed
+   baseline, failing on a >tolerance slowdown of the Figure 2 initiator
+   cost or on shootdown-count drift beyond a small allowance. *)
+
+module Json = Instrument.Json
+module Metrics = Instrument.Metrics
+module Stats = Instrument.Stats
+module Summary = Instrument.Summary
+
+let schema_version = 1
+
+let slug name = String.lowercase_ascii name
+
+let metrics_of ~(fig : Figure2.t) ~(t1 : Table1.t) ~(apps : Apps.t) =
+  let m = Metrics.create () in
+  let gauge name v = Metrics.set (Metrics.gauge m name) v in
+  let count name n = Metrics.inc ~by:n (Metrics.counter m name) in
+  let hist name vs = Metrics.observe_list (Metrics.histogram m name) vs in
+  (* --- Figure 2: basic shootdown costs and the least-squares fit --- *)
+  gauge "figure2/fit/intercept_us" fig.Figure2.fit.Stats.intercept;
+  gauge "figure2/fit/slope_us_per_proc" fig.Figure2.fit.Stats.slope;
+  gauge "figure2/fit/r2" fig.Figure2.fit.Stats.r2;
+  gauge "figure2/fit_limit" (float_of_int fig.Figure2.fit_limit);
+  gauge "figure2/consistent" (if fig.Figure2.all_consistent then 1.0 else 0.0);
+  List.iter
+    (fun (p : Figure2.point) ->
+      hist
+        (Printf.sprintf "figure2/elapsed_us/procs=%02d" p.Figure2.processors)
+        p.Figure2.samples)
+    fig.Figure2.points;
+  (* --- Table 1: lazy evaluation on/off --- *)
+  let t1_cell prefix (c : Table1.cell) =
+    count (prefix ^ "/kernel_events") c.Table1.kernel_events;
+    count (prefix ^ "/user_events") c.Table1.user_events;
+    gauge (prefix ^ "/kernel_avg_us") c.Table1.kernel_avg;
+    gauge (prefix ^ "/user_avg_us") c.Table1.user_avg;
+    gauge (prefix ^ "/total_overhead_us") c.Table1.total_overhead
+  in
+  t1_cell "table1/mach/lazy_off" t1.Table1.mach_off;
+  t1_cell "table1/mach/lazy_on" t1.Table1.mach_on;
+  t1_cell "table1/parthenon/lazy_off" t1.Table1.parthenon_off;
+  t1_cell "table1/parthenon/lazy_on" t1.Table1.parthenon_on;
+  (* --- Tables 2-4 plus per-application machine counters --- *)
+  List.iter
+    (fun (r : Workloads.Driver.report) ->
+      let app = slug r.Workloads.Driver.name in
+      let kin = r.Workloads.Driver.kernel_initiators in
+      let uin = r.Workloads.Driver.user_initiators in
+      count (Printf.sprintf "table2/%s/events" app) (List.length kin);
+      hist
+        (Printf.sprintf "table2/%s/initiator_elapsed_us" app)
+        (Summary.elapsed_of kin);
+      gauge
+        (Printf.sprintf "table2/%s/pages_mean" app)
+        (Stats.mean (Summary.pages_of kin));
+      gauge
+        (Printf.sprintf "table2/%s/procs_mean" app)
+        (Stats.mean (Summary.processors_of kin));
+      count (Printf.sprintf "table3/%s/events" app) (List.length uin);
+      hist
+        (Printf.sprintf "table3/%s/initiator_elapsed_us" app)
+        (Summary.elapsed_of uin);
+      count
+        (Printf.sprintf "table4/%s/events" app)
+        (List.length r.Workloads.Driver.responders);
+      hist
+        (Printf.sprintf "table4/%s/responder_elapsed_us" app)
+        r.Workloads.Driver.responders;
+      count
+        (Printf.sprintf "apps/%s/ipis_sent" app)
+        r.Workloads.Driver.ipis_sent;
+      count
+        (Printf.sprintf "apps/%s/shootdowns_skipped_lazy" app)
+        r.Workloads.Driver.skipped_lazy;
+      gauge (Printf.sprintf "apps/%s/runtime_us" app) r.Workloads.Driver.runtime;
+      gauge
+        (Printf.sprintf "apps/%s/busy_us" app)
+        r.Workloads.Driver.busy_time)
+    (Apps.all apps);
+  m
+
+let to_json ~mode metrics =
+  Json.Obj
+    [
+      ("schema", Json.Int schema_version);
+      ("mode", Json.Str mode);
+      ("metrics", Metrics.to_json metrics);
+    ]
+
+let report ~mode ~fig ~t1 ~apps = to_json ~mode (metrics_of ~fig ~t1 ~apps)
+
+(* ------------------------------------------------------------------ *)
+(* The regression gate. *)
+
+type verdict = { failures : string list; notes : string list }
+
+let passed v = v.failures = []
+
+let metric_value report name =
+  match Json.path [ "metrics"; name ] report with
+  | Some m -> Json.member "value" m
+  | None -> None
+
+let metric_float report name =
+  Option.bind (metric_value report name) Json.get_float
+
+let metric_count report name =
+  Option.bind (metric_value report name) Json.get_int
+
+(* All counters of a report, in name order (the serializer preserves the
+   registry's sorted order, so this is deterministic). *)
+let counters report =
+  match Json.path [ "metrics" ] report with
+  | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (name, m) ->
+          match (Json.member "type" m, Json.member "value" m) with
+          | Some (Json.Str "counter"), Some (Json.Int v) -> Some (name, v)
+          | _ -> None)
+        fields
+  | _ -> []
+
+let compare_runs ?(tolerance = 0.15) ?(count_rel_tolerance = 0.02)
+    ?(count_abs_tolerance = 2) ~baseline ~current () =
+  let failures = ref [] and notes = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  (match
+     (Json.path [ "schema" ] baseline, Json.path [ "schema" ] current)
+   with
+  | Some (Json.Int b), Some (Json.Int c) when b <> c ->
+      fail "schema mismatch: baseline %d, current %d" b c
+  | None, _ | _, None -> fail "missing schema field"
+  | _ -> ());
+  (* 1. Figure 2 initiator cost: the fitted per-shootdown cost must not be
+     more than [tolerance] slower at either end of the fitted range. *)
+  (match
+     ( metric_float baseline "figure2/fit/intercept_us",
+       metric_float baseline "figure2/fit/slope_us_per_proc",
+       metric_float current "figure2/fit/intercept_us",
+       metric_float current "figure2/fit/slope_us_per_proc" )
+   with
+  | Some bi, Some bs, Some ci, Some cs ->
+      let k_hi =
+        match metric_float baseline "figure2/fit_limit" with
+        | Some k -> int_of_float k
+        | None -> 8
+      in
+      List.iter
+        (fun k ->
+          let base = bi +. (bs *. float_of_int k) in
+          let cur = ci +. (cs *. float_of_int k) in
+          if base > 0.0 && cur > base *. (1.0 +. tolerance) then
+            fail
+              "figure2 initiator cost at %d procs regressed %.1f%%: %.0f us \
+               -> %.0f us (tolerance %.0f%%)"
+              k
+              (100.0 *. ((cur /. base) -. 1.0))
+              base cur (100.0 *. tolerance)
+          else
+            note "figure2 initiator cost @%d procs: baseline %.0f us, current %.0f us"
+              k base cur)
+        [ 1; k_hi ]
+  | _ -> fail "missing figure2 fit coefficients in baseline or current");
+  (* 2. Shootdown-count drift: every baseline counter must be present and
+     within max(abs, rel) of its baseline value.  With deterministic seeds
+     the counts are normally byte-identical; the allowance only absorbs
+     cross-version noise. *)
+  let drift = ref 0 in
+  List.iter
+    (fun (name, base) ->
+      match metric_count current name with
+      | None -> fail "counter %s missing from current report" name
+      | Some cur ->
+          let allowed =
+            max count_abs_tolerance
+              (int_of_float
+                 (ceil (count_rel_tolerance *. float_of_int (abs base))))
+          in
+          if abs (cur - base) > allowed then begin
+            incr drift;
+            fail "counter %s drifted: baseline %d, current %d (allowed ±%d)"
+              name base cur allowed
+          end)
+    (counters baseline);
+  note "%d counters compared, %d drifted" (List.length (counters baseline))
+    !drift;
+  { failures = List.rev !failures; notes = List.rev !notes }

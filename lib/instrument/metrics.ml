@@ -1,0 +1,122 @@
+(* Metrics registry for the observability layer: counters (monotonic
+   event counts), gauges (last-written values, e.g. fit coefficients) and
+   histograms (raw samples summarized with the paper's percentile set —
+   mean±std, min/max, median, 10th and 90th percentiles).
+
+   Snapshots serialize to JSON with names sorted, so the export schema is
+   stable no matter the registration order. *)
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float }
+type histogram = { h_name : string; mutable samples : float list }
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or_register t name make match_ =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> (
+      match match_ m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name
+               (kind_name m)))
+  | None ->
+      let v = make () in
+      v
+
+let counter t name =
+  find_or_register t name
+    (fun () ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.add t.tbl name (Counter c);
+      c)
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  find_or_register t name
+    (fun () ->
+      let g = { g_name = name; value = nan } in
+      Hashtbl.add t.tbl name (Gauge g);
+      g)
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram t name =
+  find_or_register t name
+    (fun () ->
+      let h = { h_name = name; samples = [] } in
+      Hashtbl.add t.tbl name (Histogram h);
+      h)
+    (function Histogram h -> Some h | _ -> None)
+
+let inc ?(by = 1) c = c.count <- c.count + by
+let count c = c.count
+let counter_name c = c.c_name
+
+let set g v = g.value <- v
+let value g = g.value
+let gauge_name g = g.g_name
+
+let observe h v = h.samples <- v :: h.samples
+let observe_list h vs = List.iter (observe h) vs
+let samples h = List.rev h.samples
+let histogram_name h = h.h_name
+
+let names t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+(* Convenience for Engine.label_counts-style diagnostics. *)
+let counter_values t =
+  Hashtbl.fold
+    (fun name m acc ->
+      match m with Counter c -> (name, c.count) :: acc | _ -> acc)
+    t.tbl []
+
+(* ------------------------------------------------------------------ *)
+(* JSON snapshot.  One object per metric, keyed by name in sorted order:
+
+     "table2/Mach/events":  { "type": "counter", "value": 123 }
+     "figure2/fit/slope":   { "type": "gauge", "value": 55.1 }
+     "...elapsed_us":       { "type": "histogram", "n": ..., "mean": ...,
+                              "std": ..., "min": ..., "max": ...,
+                              "median": ..., "p10": ..., "p90": ... }   *)
+
+let metric_to_json = function
+  | Counter c ->
+      Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int c.count) ]
+  | Gauge g ->
+      Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Float g.value) ]
+  | Histogram h ->
+      let s = Stats.summarize (List.rev h.samples) in
+      Json.Obj
+        [
+          ("type", Json.Str "histogram");
+          ("n", Json.Int s.Stats.n);
+          ("mean", Json.Float s.Stats.mean);
+          ("std", Json.Float s.Stats.std);
+          ("min", Json.Float s.Stats.min);
+          ("max", Json.Float s.Stats.max);
+          ("median", Json.Float s.Stats.median);
+          ("p10", Json.Float s.Stats.p10);
+          ("p90", Json.Float s.Stats.p90);
+        ]
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun name -> (name, metric_to_json (Hashtbl.find t.tbl name)))
+       (names t))

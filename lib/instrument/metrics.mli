@@ -1,0 +1,55 @@
+(** Metrics registry: counters, gauges, and histograms summarized with
+    the paper's percentile set (mean±std, min/max, median, p10, p90).
+
+    [counter]/[gauge]/[histogram] get-or-create by name; requesting an
+    existing name as a different kind raises [Invalid_argument].  JSON
+    snapshots list metrics in sorted name order, so the export schema is
+    stable regardless of registration order. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+val inc : ?by:int -> counter -> unit
+val count : counter -> int
+val counter_name : counter -> string
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val value : gauge -> float
+(** [nan] until first {!set}. *)
+
+val gauge_name : gauge -> string
+
+val histogram : t -> string -> histogram
+val observe : histogram -> float -> unit
+val observe_list : histogram -> float list -> unit
+val samples : histogram -> float list
+(** In observation order. *)
+
+val histogram_name : histogram -> string
+
+val names : t -> string list
+(** Sorted. *)
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+val find : t -> string -> metric option
+
+val counter_values : t -> (string * int) list
+(** All counters as [(name, count)] pairs, unordered — the
+    [Engine.label_counts] diagnostic shape. *)
+
+val metric_to_json : metric -> Json.t
+
+val to_json : t -> Json.t
+(** Object keyed by metric name (sorted); counters/gauges carry a
+    ["value"], histograms the full summary. *)

@@ -1,0 +1,114 @@
+(* Structured span-event tracing for the shootdown hot path.
+
+   Where Xpr reproduces the Mach xpr circular buffer (integer args, fixed
+   record shape), Trace records named events with typed attributes — the
+   machine-readable stream the paper's Figure 1 anatomy views, the
+   `tlbshoot trace` subcommand and offline analysis consume.  Producers
+   (Sim.Engine, Core.Shoot_trace) hold an optional [t] and emit only when
+   one is attached, so the zero-tracer cost is a single branch.
+
+   Events are instants unless [dur] is given, making them spans. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type span = {
+  name : string; (* e.g. "initiator.queue-action", "tlb.flush" *)
+  cpu : int; (* -1 when not attributable to one CPU *)
+  at : float; (* simulated us *)
+  dur : float; (* 0.0 for instantaneous events *)
+  attrs : (string * value) list;
+}
+
+type t = {
+  mutable spans : span list; (* newest first *)
+  mutable count : int;
+  mutable enabled : bool;
+  mutable sink : (span -> unit) option; (* streaming consumer *)
+}
+
+let create () = { spans = []; count = 0; enabled = true; sink = None }
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+let set_sink t sink = t.sink <- sink
+
+let emit t ~name ~cpu ~at ?(dur = 0.0) ?(attrs = []) () =
+  if t.enabled then begin
+    let s = { name; cpu; at; dur; attrs } in
+    t.spans <- s :: t.spans;
+    t.count <- t.count + 1;
+    match t.sink with Some f -> f s | None -> ()
+  end
+
+let length t = t.count
+let spans t = List.rev t.spans
+
+let reset t =
+  t.spans <- [];
+  t.count <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let value_to_string = function
+  | Bool b -> string_of_bool b
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let pp_span ?(t0 = 0.0) s =
+  let attrs =
+    String.concat ""
+      (List.map
+         (fun (k, v) -> Printf.sprintf " %s=%s" k (value_to_string v))
+         s.attrs)
+  in
+  let dur = if s.dur > 0.0 then Printf.sprintf " (%.1f us)" s.dur else "" in
+  Printf.sprintf "%10.1f  cpu%-3s %-26s%s%s" (s.at -. t0)
+    (if s.cpu < 0 then "-" else string_of_int s.cpu)
+    s.name attrs dur
+
+(* Chronological listing with timestamps relative to the earliest span.
+   Spans are sorted by start time: duration-carrying spans (e.g. engine
+   coroutines) are emitted at completion but belong where they began. *)
+let render t =
+  match spans t with
+  | [] -> "(no spans recorded; attach the tracer before running)\n"
+  | all -> (
+      match List.stable_sort (fun a b -> compare a.at b.at) all with
+      | [] -> assert false
+      | first :: _ as sorted ->
+          let buf = Buffer.create 4096 in
+          Buffer.add_string buf
+            "Span stream (relative simulated microseconds)\n\n";
+          List.iter
+            (fun s ->
+              Buffer.add_string buf (pp_span ~t0:first.at s);
+              Buffer.add_char buf '\n')
+            sorted;
+          Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let value_to_json = function
+  | Bool b -> Json.Bool b
+  | Int n -> Json.Int n
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+
+let span_to_json s =
+  Json.Obj
+    ([
+       ("name", Json.Str s.name);
+       ("cpu", Json.Int s.cpu);
+       ("at", Json.Float s.at);
+     ]
+    @ (if s.dur > 0.0 then [ ("dur", Json.Float s.dur) ] else [])
+    @
+    match s.attrs with
+    | [] -> []
+    | attrs ->
+        [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) attrs)) ])
+
+let to_json t = Json.List (List.map span_to_json (spans t))

@@ -1,0 +1,54 @@
+(** Structured span-event tracing for the shootdown hot path.
+
+    Named events with typed attributes, emitted by hooks in [Sim.Engine]
+    and [Core.Shoot_trace] when a tracer is attached (the zero-tracer
+    cost is one branch).  The span stream is what the [tlbshoot trace]
+    subcommand dumps; see docs/OBSERVABILITY.md for the schema. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type span = {
+  name : string;
+  cpu : int;  (** -1 when not attributable to one CPU *)
+  at : float;  (** simulated us *)
+  dur : float;  (** 0.0 for instantaneous events *)
+  attrs : (string * value) list;
+}
+
+type t
+
+val create : unit -> t
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+
+val set_sink : t -> (span -> unit) option -> unit
+(** Streaming consumer called on every emitted span (spans are still
+    buffered for {!spans}). *)
+
+val emit :
+  t ->
+  name:string ->
+  cpu:int ->
+  at:float ->
+  ?dur:float ->
+  ?attrs:(string * value) list ->
+  unit ->
+  unit
+
+val length : t -> int
+
+val spans : t -> span list
+(** In emission order. *)
+
+val reset : t -> unit
+
+val pp_span : ?t0:float -> span -> string
+(** One-line rendering, timestamp relative to [t0]. *)
+
+val render : t -> string
+(** Chronological listing relative to the first span. *)
+
+val value_to_json : value -> Json.t
+val span_to_json : span -> Json.t
+val to_json : t -> Json.t

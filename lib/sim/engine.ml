@@ -26,7 +26,8 @@ type t = {
   heap : (string * (unit -> unit)) Heap.t;
   prng : Prng.t;
   mutable live : int; (* spawned coroutines not yet finished *)
-  label_counts : (string, int) Hashtbl.t; (* diagnostics *)
+  metrics : Instrument.Metrics.t; (* per-label processed-event counters *)
+  mutable tracer : Instrument.Trace.t option; (* structured span events *)
 }
 
 let create ?(seed = 0x5EEDL) ?(max_events = 200_000_000) () =
@@ -38,7 +39,8 @@ let create ?(seed = 0x5EEDL) ?(max_events = 200_000_000) () =
     heap = Heap.create ~dummy:("", ignore);
     prng = Prng.create seed;
     live = 0;
-    label_counts = Hashtbl.create 16;
+    metrics = Instrument.Metrics.create ();
+    tracer = None;
   }
 
 let now t = t.now
@@ -54,7 +56,10 @@ let at ?(label = "at") t time thunk =
 
 let after ?(label = "after") t dt thunk = at ~label t (t.now +. dt) thunk
 
-let label_counts t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.label_counts []
+let metrics t = t.metrics
+let label_counts t = Instrument.Metrics.counter_values t.metrics
+let set_tracer t tracer = t.tracer <- tracer
+let tracer t = t.tracer
 
 let delay dt =
   if dt < 0.0 then invalid_arg "Engine.delay: negative duration";
@@ -68,14 +73,23 @@ let wake t w =
     at ~label:"wake" t t.now w.resume
   end
 
-let spawn t ?name fn =
-  ignore name;
+let spawn t ?(name = "coroutine") fn =
   t.live <- t.live + 1;
+  let started = t.now in
   let open Effect.Deep in
   let fiber () =
     match_with fn ()
       {
-        retc = (fun () -> t.live <- t.live - 1);
+        retc =
+          (fun () ->
+            t.live <- t.live - 1;
+            match t.tracer with
+            | Some tr ->
+                Instrument.Trace.emit tr ~name:"engine.coroutine" ~cpu:(-1)
+                  ~at:started ~dur:(t.now -. started)
+                  ~attrs:[ ("name", Instrument.Trace.Str name) ]
+                  ()
+            | None -> ());
         exnc = (fun e -> raise e);
         effc =
           (fun (type a) (eff : a Effect.t) ->
@@ -99,8 +113,7 @@ let step t =
   if Heap.is_empty t.heap then false
   else begin
     let time, _, (label, thunk) = Heap.pop t.heap in
-    Hashtbl.replace t.label_counts label
-      (1 + Option.value ~default:0 (Hashtbl.find_opt t.label_counts label));
+    Instrument.Metrics.inc (Instrument.Metrics.counter t.metrics label);
     t.now <- time;
     t.events <- t.events + 1;
     if t.events > t.max_events then

@@ -33,7 +33,18 @@ val at : ?label:string -> t -> float -> (unit -> unit) -> unit
 val after : ?label:string -> t -> float -> (unit -> unit) -> unit
 
 val label_counts : t -> (string * int) list
-(** Processed-event counts by label (diagnostics). *)
+(** Processed-event counts by label (diagnostics), read from {!metrics}. *)
+
+val metrics : t -> Instrument.Metrics.t
+(** The engine's metric registry; processed events are counted per label
+    (superseding the old ad-hoc hashtable). *)
+
+val set_tracer : t -> Instrument.Trace.t option -> unit
+(** Attach (or detach) a structured span tracer.  With a tracer attached
+    the engine emits an ["engine.coroutine"] span for every finished
+    coroutine, carrying its name and lifetime. *)
+
+val tracer : t -> Instrument.Trace.t option
 
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
 (** Start a coroutine at the current instant.  The body may perform

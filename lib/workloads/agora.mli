@@ -16,4 +16,9 @@ type config = {
 
 val default_config : config
 val body : ?cfg:config -> Vm.Machine.t -> Sim.Sched.thread -> unit
-val run : ?params:Sim.Params.t -> ?cfg:config -> unit -> Driver.report
+val run :
+  ?params:Sim.Params.t ->
+  ?trace:Instrument.Trace.t ->
+  ?cfg:config ->
+  unit ->
+  Driver.report

@@ -16,8 +16,13 @@ type report = {
   ipis_sent : int;
 }
 
-let run ?(params = Sim.Params.production) ~name body =
+let run ?(params = Sim.Params.production) ?trace ~name body =
   let machine = Vm.Machine.create ~params () in
+  (match trace with
+  | Some tr ->
+      machine.Vm.Machine.ctx.Core.Pmap.trace <- Some tr;
+      Sim.Engine.set_tracer machine.Vm.Machine.eng (Some tr)
+  | None -> ());
   Vm.Machine.run machine (fun self -> body machine self);
   let xpr = machine.Vm.Machine.xpr in
   let ctx = machine.Vm.Machine.ctx in

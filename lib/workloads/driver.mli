@@ -15,9 +15,13 @@ type report = {
 
 val run :
   ?params:Sim.Params.t ->
+  ?trace:Instrument.Trace.t ->
   name:string ->
   (Vm.Machine.t -> Sim.Sched.thread -> unit) ->
   report
+(** [trace], when given, is attached to the machine's pmap context and
+    engine before the body runs, so the whole workload emits structured
+    shootdown spans into it. *)
 
 val overhead_percent : Sim.Params.t -> report -> float
 (** Initiator plus sample-scaled responder time over busy time, the

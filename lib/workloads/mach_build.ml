@@ -109,5 +109,5 @@ let body ?(cfg = default_config) (machine : Machine.t) self =
   done;
   List.iter (fun th -> Sim.Sched.join sched self th) !workers
 
-let run ?(params = Sim.Params.production) ?(cfg = default_config) () =
-  Driver.run ~params ~name:"Mach" (body ~cfg)
+let run ?(params = Sim.Params.production) ?trace ?(cfg = default_config) () =
+  Driver.run ~params ?trace ~name:"Mach" (body ~cfg)

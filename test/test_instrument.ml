@@ -35,6 +35,34 @@ let test_percentiles () =
   Alcotest.(check bool) "unsorted input" true
     (feq (Stats.median shuffled) 5.5)
 
+let test_percentile_edges () =
+  (* singleton: every percentile is the one sample *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "n=1 p%g" p)
+        true
+        (feq (Stats.percentile [ 42.0 ] p) 42.0))
+    [ 0.0; 10.0; 50.0; 90.0; 100.0 ];
+  let s1 = Stats.summarize [ 7.0 ] in
+  Alcotest.(check int) "singleton n" 1 s1.Stats.n;
+  Alcotest.(check bool) "singleton median" true (feq s1.Stats.median 7.0);
+  Alcotest.(check bool) "singleton p10 = p90" true (feq s1.Stats.p10 s1.Stats.p90);
+  (* ties: interpolating between equal ranks stays at the tied value *)
+  let ties = [ 5.0; 5.0; 5.0; 5.0 ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ties p%g" p)
+        true
+        (feq (Stats.percentile ties p) 5.0))
+    [ 0.0; 10.0; 50.0; 90.0; 100.0 ];
+  (* empty input: nan percentiles, n = 0 summary *)
+  Alcotest.(check bool) "empty percentile nan" true
+    (Float.is_nan (Stats.percentile [] 50.0));
+  Alcotest.(check bool) "empty median nan" true (Float.is_nan (Stats.median []));
+  Alcotest.(check int) "empty summary n" 0 (Stats.summarize []).Stats.n
+
 let percentile_bounds =
   QCheck.Test.make ~name:"percentile within min/max" ~count:200
     QCheck.(
@@ -128,6 +156,29 @@ let test_xpr_circular_overflow () =
   (* only the newest [capacity] survive, oldest first *)
   Alcotest.(check (list (float 1e-9))) "newest survive" [ 7.; 8.; 9.; 10. ] ts
 
+(* Overflow bookkeeping: [recorded] counts every event ever logged while
+   [to_list] only returns the survivors, and the flag flips exactly when
+   the buffer wraps — a full-but-not-wrapped buffer is not an overflow. *)
+let test_xpr_overflow_semantics () =
+  let cap = 4 in
+  let x = Xpr.create ~capacity:cap () in
+  for i = 1 to cap do
+    Xpr.record x ~code:(Xpr.Custom 0) ~cpu:0 ~timestamp:(float_of_int i) ()
+  done;
+  Alcotest.(check bool) "full but not overflowed" false (Xpr.overflowed x);
+  Alcotest.(check int) "recorded = capacity" cap (Xpr.recorded x);
+  Alcotest.(check int) "all survive" cap (List.length (Xpr.to_list x));
+  Xpr.record x ~code:(Xpr.Custom 0) ~cpu:0 ~timestamp:5.0 ();
+  Alcotest.(check bool) "overflowed at capacity+1" true (Xpr.overflowed x);
+  Alcotest.(check int) "recorded keeps counting" (cap + 1) (Xpr.recorded x);
+  Alcotest.(check int) "survivors capped" cap (List.length (Xpr.to_list x));
+  let ts = List.map (fun e -> e.Xpr.timestamp) (Xpr.to_list x) in
+  Alcotest.(check (list (float 1e-9))) "oldest dropped" [ 2.; 3.; 4.; 5. ] ts;
+  Xpr.reset x;
+  Alcotest.(check bool) "reset clears overflow" false (Xpr.overflowed x);
+  Alcotest.(check int) "reset clears survivors" 0
+    (List.length (Xpr.to_list x))
+
 let test_xpr_disable_reset () =
   let x = Xpr.create ~capacity:8 () in
   Xpr.disable x;
@@ -192,6 +243,7 @@ let () =
         [
           Alcotest.test_case "mean/std" `Quick test_mean_std;
           Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
           Alcotest.test_case "linear fit exact" `Quick test_linear_fit_exact;
           Alcotest.test_case "summarize/skew" `Quick test_summarize_and_skew;
           Alcotest.test_case "histogram" `Quick test_histogram;
@@ -204,6 +256,8 @@ let () =
           Alcotest.test_case "record/filter" `Quick test_xpr_record_and_filter;
           Alcotest.test_case "circular overflow" `Quick
             test_xpr_circular_overflow;
+          Alcotest.test_case "overflow semantics" `Quick
+            test_xpr_overflow_semantics;
           Alcotest.test_case "disable/reset" `Quick test_xpr_disable_reset;
           Alcotest.test_case "summary extraction" `Quick
             test_summary_extraction;

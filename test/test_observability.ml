@@ -1,0 +1,340 @@
+(* Tests for the observability layer: the Json serializer/parser, the
+   Metrics registry, the structured span tracer, and the perf-regression
+   gate in Experiments.Bench_report. *)
+
+module Json = Instrument.Json
+module Metrics = Instrument.Metrics
+module Trace = Instrument.Trace
+module Report = Experiments.Bench_report
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) <= eps
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let sample =
+  Json.Obj
+    [
+      ("int", Json.Int 42);
+      ("neg", Json.Int (-7));
+      ("float", Json.Float 1.5);
+      ("integral_float", Json.Float 3.0);
+      ("bool", Json.Bool true);
+      ("null", Json.Null);
+      ("str", Json.Str "a \"quoted\"\nline\twith\\escapes");
+      ("list", Json.List [ Json.Int 1; Json.Str "two"; Json.Null ]);
+      ("nested", Json.Obj [ ("k", Json.List []) ]);
+    ]
+
+let test_json_roundtrip () =
+  let check_roundtrip minify =
+    match Json.of_string (Json.to_string ~minify sample) with
+    | Ok parsed ->
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtrip minify=%b" minify)
+          true (parsed = sample)
+    | Error msg -> Alcotest.fail msg
+  in
+  check_roundtrip true;
+  check_roundtrip false
+
+let test_json_floats () =
+  (* integral floats keep a decimal point so they parse back as floats *)
+  Alcotest.(check string)
+    "integral float" "3.0"
+    (Json.to_string ~minify:true (Json.Float 3.0));
+  (* non-finite values cannot appear in JSON; they serialize as null *)
+  Alcotest.(check string)
+    "nan is null" "null"
+    (Json.to_string ~minify:true (Json.Float nan));
+  Alcotest.(check string)
+    "infinity is null" "null"
+    (Json.to_string ~minify:true (Json.Float infinity));
+  (* a full-precision float survives the round trip exactly *)
+  let v = 614238.58458596771 in
+  match Json.of_string (Json.to_string ~minify:true (Json.Float v)) with
+  | Ok (Json.Float v') -> Alcotest.(check bool) "float exact" true (v = v')
+  | Ok _ | Error _ -> Alcotest.fail "expected a float back"
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted invalid %S" s)
+      | Error _ -> ())
+    bad
+
+let test_json_accessors () =
+  let j =
+    Json.Obj
+      [ ("a", Json.Obj [ ("b", Json.Int 5) ]); ("s", Json.Str "x") ]
+  in
+  Alcotest.(check (option int))
+    "path" (Some 5)
+    (Option.bind (Json.path [ "a"; "b" ] j) Json.get_int);
+  Alcotest.(check bool)
+    "missing path" true
+    (Json.path [ "a"; "missing" ] j = None);
+  (* get_float accepts integers *)
+  Alcotest.(check (option (float 1e-9)))
+    "int as float" (Some 5.0)
+    (Option.bind (Json.path [ "a"; "b" ] j) Json.get_float)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "shootdowns" in
+  Metrics.inc c;
+  Metrics.inc ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.count c);
+  (* get-or-create returns the same underlying metric *)
+  Metrics.inc (Metrics.counter m "shootdowns");
+  Alcotest.(check int) "shared" 6 (Metrics.count c);
+  let g = Metrics.gauge m "fit/slope" in
+  Metrics.set g 55.0;
+  Alcotest.(check bool) "gauge" true (feq (Metrics.value g) 55.0);
+  let h = Metrics.histogram m "elapsed" in
+  Metrics.observe_list h [ 3.0; 1.0; 2.0 ];
+  Alcotest.(check int) "histogram n" 3 (List.length (Metrics.samples h));
+  Alcotest.(check (list string))
+    "sorted names"
+    [ "elapsed"; "fit/slope"; "shootdowns" ]
+    (Metrics.names m);
+  (* same name, different kind is a programming error *)
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics: \"shootdowns\" already registered as a counter")
+    (fun () -> ignore (Metrics.gauge m "shootdowns"))
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.inc ~by:3 (Metrics.counter m "c");
+  Metrics.set (Metrics.gauge m "g") 2.5;
+  Metrics.observe_list (Metrics.histogram m "h") [ 1.0; 2.0; 3.0 ];
+  let j = Metrics.to_json m in
+  Alcotest.(check (option int))
+    "counter value" (Some 3)
+    (Option.bind (Json.path [ "c"; "value" ] j) Json.get_int);
+  Alcotest.(check (option string))
+    "counter type" (Some "counter")
+    (Option.bind (Json.path [ "c"; "type" ] j) Json.get_string);
+  Alcotest.(check (option (float 1e-9)))
+    "gauge value" (Some 2.5)
+    (Option.bind (Json.path [ "g"; "value" ] j) Json.get_float);
+  (* histograms carry the paper's percentile set *)
+  List.iter
+    (fun field ->
+      Alcotest.(check bool)
+        (Printf.sprintf "histogram %s present" field)
+        true
+        (Json.path [ "h"; field ] j <> None))
+    [ "n"; "mean"; "std"; "min"; "max"; "median"; "p10"; "p90" ];
+  Alcotest.(check (option int))
+    "histogram n" (Some 3)
+    (Option.bind (Json.path [ "h"; "n" ] j) Json.get_int)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_emit () =
+  let t = Trace.create () in
+  Trace.emit t ~name:"initiator.start" ~cpu:0 ~at:10.0 ();
+  Trace.emit t ~name:"responder.ack" ~cpu:1 ~at:12.5
+    ~attrs:[ ("target", Trace.Int 1) ]
+    ();
+  Trace.emit t ~name:"engine.coroutine" ~cpu:(-1) ~at:0.0 ~dur:20.0 ();
+  Alcotest.(check int) "length" 3 (Trace.length t);
+  (match Trace.spans t with
+  | [ a; b; _ ] ->
+      Alcotest.(check string) "emission order" "initiator.start" a.Trace.name;
+      Alcotest.(check string) "second" "responder.ack" b.Trace.name
+  | _ -> Alcotest.fail "expected three spans");
+  (* disabled tracers drop events *)
+  Trace.disable t;
+  Trace.emit t ~name:"dropped" ~cpu:0 ~at:99.0 ();
+  Alcotest.(check int) "disabled drops" 3 (Trace.length t);
+  Trace.reset t;
+  Alcotest.(check int) "reset" 0 (Trace.length t)
+
+let test_trace_json () =
+  let t = Trace.create () in
+  Trace.emit t ~name:"tlb.invalidate" ~cpu:2 ~at:5.0
+    ~attrs:[ ("space", Trace.Int 1); ("pages", Trace.Int 3) ]
+    ();
+  match Trace.to_json t with
+  | Json.List [ s ] ->
+      Alcotest.(check (option string))
+        "name" (Some "tlb.invalidate")
+        (Option.bind (Json.member "name" s) Json.get_string);
+      Alcotest.(check (option int))
+        "cpu" (Some 2)
+        (Option.bind (Json.member "cpu" s) Json.get_int);
+      Alcotest.(check (option int))
+        "attr pages" (Some 3)
+        (Option.bind (Json.path [ "attrs"; "pages" ] s) Json.get_int);
+      (* zero-duration instants omit the dur field *)
+      Alcotest.(check bool) "no dur" true (Json.member "dur" s = None)
+  | _ -> Alcotest.fail "expected a one-span list"
+
+(* A real shootdown emits the Figure 1 phases into an attached tracer. *)
+let test_trace_integration () =
+  let tr = Trace.create () in
+  let machine = Vm.Machine.create ~params:Sim.Params.default () in
+  machine.Vm.Machine.ctx.Core.Pmap.trace <- Some tr;
+  Sim.Engine.set_tracer machine.Vm.Machine.eng (Some tr);
+  let r = Workloads.Tlb_tester.run machine ~children:2 () in
+  Alcotest.(check bool) "consistent" true r.Workloads.Tlb_tester.consistent;
+  let names = List.map (fun s -> s.Trace.name) (Trace.spans tr) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span %s present" expected)
+        true
+        (List.mem expected names))
+    [
+      "initiator.start";
+      "initiator.queue-action";
+      "initiator.ipi";
+      "initiator.barrier-done";
+      "initiator.update-done";
+      "responder.ack";
+      "responder.drain";
+      "tlb.invalidate";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The regression gate *)
+
+(* A minimal report with the fields the gate inspects. *)
+let report ?(intercept = 400.0) ?(slope = 50.0) ?(events = 100) () =
+  Json.Obj
+    [
+      ("schema", Json.Int Report.schema_version);
+      ("mode", Json.Str "smoke");
+      ( "metrics",
+        Json.Obj
+          [
+            ( "figure2/fit/intercept_us",
+              Json.Obj
+                [ ("type", Json.Str "gauge"); ("value", Json.Float intercept) ]
+            );
+            ( "figure2/fit/slope_us_per_proc",
+              Json.Obj
+                [ ("type", Json.Str "gauge"); ("value", Json.Float slope) ] );
+            ( "figure2/fit_limit",
+              Json.Obj
+                [ ("type", Json.Str "gauge"); ("value", Json.Float 8.0) ] );
+            ( "table2/mach/events",
+              Json.Obj
+                [ ("type", Json.Str "counter"); ("value", Json.Int events) ] );
+          ] );
+    ]
+
+let test_gate_identical_pass () =
+  let r = report () in
+  let v = Report.compare_runs ~baseline:r ~current:r () in
+  Alcotest.(check bool) "passes" true (Report.passed v);
+  Alcotest.(check (list string)) "no failures" [] v.Report.failures
+
+let test_gate_slowdown_fails () =
+  (* current cost is ~2x the baseline: well past the 15% tolerance *)
+  let v =
+    Report.compare_runs
+      ~baseline:(report ~intercept:200.0 ~slope:25.0 ())
+      ~current:(report ()) ()
+  in
+  Alcotest.(check bool) "fails" false (Report.passed v);
+  Alcotest.(check bool) "mentions figure2" true
+    (List.exists
+       (fun f ->
+         String.length f >= 7 && String.sub f 0 7 = "figure2")
+       v.Report.failures);
+  (* a slowdown within tolerance passes *)
+  let ok =
+    Report.compare_runs
+      ~baseline:(report ~intercept:400.0 ~slope:50.0 ())
+      ~current:(report ~intercept:440.0 ~slope:55.0 ())
+      ()
+  in
+  Alcotest.(check bool) "10% within tolerance" true (Report.passed ok);
+  (* ...and a speedup always passes *)
+  let fast =
+    Report.compare_runs ~baseline:(report ())
+      ~current:(report ~intercept:200.0 ~slope:25.0 ())
+      ()
+  in
+  Alcotest.(check bool) "speedup passes" true (Report.passed fast)
+
+let test_gate_count_drift_fails () =
+  let v =
+    Report.compare_runs
+      ~baseline:(report ~events:100 ())
+      ~current:(report ~events:110 ())
+      ()
+  in
+  Alcotest.(check bool) "drift fails" false (Report.passed v);
+  (* within the max(2, 2%) allowance passes *)
+  let ok =
+    Report.compare_runs
+      ~baseline:(report ~events:100 ())
+      ~current:(report ~events:102 ())
+      ()
+  in
+  Alcotest.(check bool) "small drift passes" true (Report.passed ok)
+
+let test_gate_missing_metric_fails () =
+  let current =
+    Json.Obj
+      [
+        ("schema", Json.Int Report.schema_version);
+        ("mode", Json.Str "smoke");
+        ( "metrics",
+          Json.Obj
+            [
+              ( "figure2/fit/intercept_us",
+                Json.Obj
+                  [ ("type", Json.Str "gauge"); ("value", Json.Float 400.0) ]
+              );
+              ( "figure2/fit/slope_us_per_proc",
+                Json.Obj
+                  [ ("type", Json.Str "gauge"); ("value", Json.Float 50.0) ] );
+            ] );
+      ]
+  in
+  let v = Report.compare_runs ~baseline:(report ()) ~current () in
+  Alcotest.(check bool) "missing counter fails" false (Report.passed v)
+
+let () =
+  Alcotest.run "observability"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "floats" `Quick test_json_floats;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "json" `Quick test_metrics_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "emit" `Quick test_trace_emit;
+          Alcotest.test_case "json" `Quick test_trace_json;
+          Alcotest.test_case "shootdown integration" `Quick
+            test_trace_integration;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "identical pass" `Quick test_gate_identical_pass;
+          Alcotest.test_case "slowdown fails" `Quick test_gate_slowdown_fails;
+          Alcotest.test_case "count drift fails" `Quick
+            test_gate_count_drift_fails;
+          Alcotest.test_case "missing metric fails" `Quick
+            test_gate_missing_metric_fails;
+        ] );
+    ]
