@@ -7,7 +7,16 @@
    Fails when the Figure 2 initiator cost (from the fit coefficients)
    slows down by more than the tolerance, or when any shootdown counter
    drifts beyond a small allowance.  See docs/OBSERVABILITY.md for the
-   report schema and the baseline refresh procedure. *)
+   report schema and the baseline refresh procedure.
+
+   Second mode, the Domain_pool determinism gate:
+
+     check_regression.exe --identical A.json B.json
+
+   fails on ANY byte difference between the two reports.  CI feeds it the
+   smoke reports produced with --jobs 1 and --jobs 2: under the seed-per-
+   trial contract of docs/PARALLELISM.md a parallel run must reproduce
+   the sequential report exactly. *)
 
 let read_report path =
   let text =
@@ -22,8 +31,60 @@ let read_report path =
       Printf.eprintf "check_regression: %s: %s\n" path msg;
       exit 2
 
+let read_raw path =
+  try In_channel.with_open_bin path In_channel.input_all
+  with Sys_error msg ->
+    Printf.eprintf "check_regression: %s\n" msg;
+    exit 2
+
+(* Byte-for-byte comparison of two reports — the Domain_pool determinism
+   gate.  On a mismatch, point at the first differing metric to make the
+   failure debuggable without a JSON diff tool. *)
+let check_identical a b =
+  let ta = read_raw a and tb = read_raw b in
+  if String.equal ta tb then begin
+    Printf.printf "PASS: %s and %s are byte-identical (%d bytes)\n" a b
+      (String.length ta);
+    exit 0
+  end;
+  Printf.printf "FAIL: %s and %s differ\n" a b;
+  (match (Instrument.Json.of_string ta, Instrument.Json.of_string tb) with
+  | Ok ja, Ok jb -> (
+      match
+        ( Instrument.Json.path [ "metrics" ] ja,
+          Instrument.Json.path [ "metrics" ] jb )
+      with
+      | Some (Instrument.Json.Obj ma), Some (Instrument.Json.Obj mb) ->
+          let tbl = Hashtbl.create 64 in
+          List.iter (fun (k, v) -> Hashtbl.replace tbl k v) mb;
+          List.iter
+            (fun (k, v) ->
+              match Hashtbl.find_opt tbl k with
+              | Some v' when v = v' -> ()
+              | Some v' ->
+                  Printf.printf "  first difference: %s\n    a: %s\n    b: %s\n"
+                    k
+                    (Instrument.Json.to_string ~minify:true v)
+                    (Instrument.Json.to_string ~minify:true v');
+                  exit 1
+              | None ->
+                  Printf.printf "  metric %s only in %s\n" k a;
+                  exit 1)
+            ma;
+          List.iter
+            (fun (k, _) ->
+              if not (List.mem_assoc k ma) then begin
+                Printf.printf "  metric %s only in %s\n" k b;
+                exit 1
+              end)
+            mb
+      | _ -> ())
+  | _ -> Printf.printf "  (at least one file is not parseable JSON)\n");
+  exit 1
+
 let () =
   let baseline = ref "" and current = ref "" and tolerance = ref 0.15 in
+  let ident_a = ref "" and ident_b = ref "" in
   let spec =
     [
       ( "--baseline",
@@ -35,11 +96,23 @@ let () =
       ( "--tolerance",
         Arg.Set_float tolerance,
         "FRAC Allowed initiator-cost slowdown (default 0.15)." );
+      ( "--identical",
+        Arg.Tuple [ Arg.Set_string ident_a; Arg.Set_string ident_b ],
+        "A B Fail on any byte difference between reports A and B \
+         (determinism gate)." );
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "check_regression.exe --baseline FILE --current FILE [--tolerance FRAC]";
+    "check_regression.exe --baseline FILE --current FILE [--tolerance FRAC]\n\
+     check_regression.exe --identical FILE FILE";
+  if !ident_a <> "" || !ident_b <> "" then begin
+    if !ident_a = "" || !ident_b = "" then begin
+      Printf.eprintf "check_regression: --identical needs two files\n";
+      exit 2
+    end;
+    check_identical !ident_a !ident_b
+  end;
   if !baseline = "" || !current = "" then begin
     Printf.eprintf "check_regression: --baseline and --current are required\n";
     exit 2

@@ -1,48 +1,53 @@
 (* tlbshoot: command-line driver for the reproduction experiments.
 
-     tlbshoot figure2 [--runs 10] [--max-procs 15]
-     tlbshoot table1 [--scale 100]
-     tlbshoot tables [--scale 100]     (Tables 2, 3, 4 from one data set)
-     tlbshoot overhead [--scale 100]
-     tlbshoot ablations [--runs 3]
+     tlbshoot figure2 [--runs 10] [--max-procs 15] [--jobs N]
+     tlbshoot table1 [--scale 100] [--jobs N]
+     tlbshoot tables [--scale 100] [--jobs N]  (Tables 2-4, one data set)
+     tlbshoot overhead [--scale 100] [--jobs N]
+     tlbshoot ablations [--runs 3] [--jobs N]
      tlbshoot tester --children 4 [--no-consistency | --policy ...]
      tlbshoot trace [--workload tester] [--children 4] [--scale 10] [--json]
-     tlbshoot all [--scale 100] *)
+     tlbshoot all [--scale 100] [--jobs N]
+
+   --jobs fans independent trials over that many OCaml domains through
+   Sim.Domain_pool; the default is the machine's recommended domain
+   count and the output is bit-for-bit identical at any value (see
+   docs/PARALLELISM.md). *)
 
 open Cmdliner
 
-let print_figure2 ~runs ~max_procs =
-  let r = Experiments.Figure2.run ~runs_per_point:runs ~max_procs () in
+let print_figure2 ~jobs ~runs ~max_procs =
+  let r = Experiments.Figure2.run ~jobs ~runs_per_point:runs ~max_procs () in
   print_string (Experiments.Figure2.render r)
 
-let print_table1 ~scale =
-  let t = Experiments.Table1.run ~scale () in
+let print_table1 ~jobs ~scale =
+  let t = Experiments.Table1.run ~jobs ~scale () in
   print_string (Experiments.Table1.render t)
 
-let print_tables ~scale =
-  let apps = Experiments.Apps.run ~scale () in
+let print_tables ~jobs ~scale =
+  let apps = Experiments.Apps.run ~jobs ~scale () in
   print_string (Experiments.Table2.render (Experiments.Table2.of_apps apps));
   print_newline ();
   print_string (Experiments.Table3.render (Experiments.Table3.of_apps apps));
   print_newline ();
   print_string (Experiments.Table4.render (Experiments.Table4.of_apps apps))
 
-let print_overhead ~scale =
-  let apps = Experiments.Apps.run ~scale () in
-  let fig = Experiments.Figure2.run ~runs_per_point:3 () in
+let print_overhead ~jobs ~scale =
+  let apps = Experiments.Apps.run ~jobs ~scale () in
+  let fig = Experiments.Figure2.run ~jobs ~runs_per_point:3 () in
   let o =
     Experiments.Overhead.of_apps apps ~fit:fig.Experiments.Figure2.fit
   in
   print_string (Experiments.Overhead.render o)
 
-let print_baselines () =
-  let b = Experiments.Baselines.run () in
+let print_baselines ~jobs () =
+  let b = Experiments.Baselines.run ~jobs () in
   print_string (Experiments.Baselines.render b)
 
-let print_scaling ~runs =
-  let fig = Experiments.Figure2.run ~runs_per_point:3 ~max_procs:12 () in
+let print_scaling ~jobs ~runs =
+  let fig = Experiments.Figure2.run ~jobs ~runs_per_point:3 ~max_procs:12 () in
   let s =
-    Experiments.Scaling.run ~runs ~fit:fig.Experiments.Figure2.fit ()
+    Experiments.Scaling.run ~jobs ~runs ~fit:fig.Experiments.Figure2.fit ()
   in
   print_string (Experiments.Scaling.render s)
 
@@ -50,8 +55,8 @@ let print_pools () =
   let p = Experiments.Pools.run () in
   print_string (Experiments.Pools.render p)
 
-let print_ablations ~runs =
-  let a = Experiments.Ablations.run ~runs () in
+let print_ablations ~jobs ~runs =
+  let a = Experiments.Ablations.run ~jobs ~runs () in
   print_string (Experiments.Ablations.render a)
 
 let run_tester ~children ~policy =
@@ -114,21 +119,31 @@ let run_trace ~workload ~children ~scale ~emit_json =
     print_string (Instrument.Json.to_string (Instrument.Trace.to_json tr))
   else print_string (Instrument.Trace.render tr)
 
-let print_all ~scale ~runs =
-  print_figure2 ~runs ~max_procs:15;
+let print_all ~jobs ~scale ~runs =
+  print_figure2 ~jobs ~runs ~max_procs:15;
   print_newline ();
-  print_table1 ~scale;
+  print_table1 ~jobs ~scale;
   print_newline ();
-  print_tables ~scale;
+  print_tables ~jobs ~scale;
   print_newline ();
-  print_overhead ~scale;
+  print_overhead ~jobs ~scale;
   print_newline ();
-  print_ablations ~runs:2
+  print_ablations ~jobs ~runs:2
 
 (* --- cmdliner wiring --- *)
 
 let scale_arg =
   Arg.(value & opt int 100 & info [ "scale" ] ~doc:"Workload scale percent.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Sim.Domain_pool.default_jobs ())
+    & info [ "jobs" ]
+        ~doc:
+          "Trial-level parallelism: independent simulations fan out over \
+           this many OCaml domains (1 = sequential; output is identical \
+           either way).")
 
 let runs_arg =
   Arg.(value & opt int 10 & info [ "runs" ] ~doc:"Runs per data point.")
@@ -150,29 +165,32 @@ let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 let figure2_cmd =
   cmd "figure2" "Reproduce Figure 2 (basic shootdown costs)"
     Term.(
-      const (fun runs max_procs -> print_figure2 ~runs ~max_procs)
-      $ runs_arg $ max_procs_arg)
+      const (fun jobs runs max_procs -> print_figure2 ~jobs ~runs ~max_procs)
+      $ jobs_arg $ runs_arg $ max_procs_arg)
 
 let table1_cmd =
   cmd "table1" "Reproduce Table 1 (lazy evaluation)"
-    Term.(const (fun scale -> print_table1 ~scale) $ scale_arg)
+    Term.(const (fun jobs scale -> print_table1 ~jobs ~scale) $ jobs_arg $ scale_arg)
 
 let tables_cmd =
   cmd "tables" "Reproduce Tables 2-4 (application shootdown statistics)"
-    Term.(const (fun scale -> print_tables ~scale) $ scale_arg)
+    Term.(const (fun jobs scale -> print_tables ~jobs ~scale) $ jobs_arg $ scale_arg)
 
 let overhead_cmd =
   cmd "overhead" "Reproduce the section 8 overhead analysis"
-    Term.(const (fun scale -> print_overhead ~scale) $ scale_arg)
+    Term.(
+      const (fun jobs scale -> print_overhead ~jobs ~scale)
+      $ jobs_arg $ scale_arg)
 
 let baselines_cmd =
   cmd "baselines" "Compare the section 3 consistency policies"
-    Term.(const print_baselines $ const ())
+    Term.(const (fun jobs -> print_baselines ~jobs ()) $ jobs_arg)
 
 let scaling_cmd =
   cmd "scaling" "Validate the section 8 extrapolation on larger machines"
     Term.(
-      const (fun runs -> print_scaling ~runs)
+      const (fun jobs runs -> print_scaling ~jobs ~runs)
+      $ jobs_arg
       $ Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Runs per point."))
 
 let pools_cmd =
@@ -182,7 +200,8 @@ let pools_cmd =
 let ablations_cmd =
   cmd "ablations" "Run the section 9 hardware-option ablations"
     Term.(
-      const (fun runs -> print_ablations ~runs)
+      const (fun jobs runs -> print_ablations ~jobs ~runs)
+      $ jobs_arg
       $ Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Runs per point."))
 
 let tester_cmd =
@@ -219,7 +238,8 @@ let trace_cmd =
 let all_cmd =
   cmd "all" "Run every experiment"
     Term.(
-      const (fun scale runs -> print_all ~scale ~runs) $ scale_arg $ runs_arg)
+      const (fun jobs scale runs -> print_all ~jobs ~scale ~runs)
+      $ jobs_arg $ scale_arg $ runs_arg)
 
 let () =
   let info =

@@ -129,33 +129,35 @@ let find_crossover ?(runs = 2) () =
 
 (* Responder cost for invalidating [pages] translations under a given
    single-invalidate/full-flush threshold. *)
-let threshold_sweep ?(procs = 6) () =
-  List.concat_map
-    (fun pages ->
-      List.map
-        (fun threshold ->
-          let params = { base with P.tlb_flush_threshold = threshold } in
-          let machine = Vm.Machine.create ~params () in
-          ignore
-            (Workloads.Tlb_tester.run ~pages machine ~children:procs ());
-          let resp =
-            Instrument.Summary.responders machine.Vm.Machine.xpr
-          in
-          (pages, threshold, Stats.mean resp))
-        [ 2; 8; 32 ])
-    [ 1; 4; 12 ]
+let threshold_sweep ?(jobs = 1) ?(procs = 6) () =
+  Sim.Domain_pool.map_trials ~jobs
+    (fun (pages, threshold) ->
+      let params = { base with P.tlb_flush_threshold = threshold } in
+      let machine = Vm.Machine.create ~params () in
+      ignore (Workloads.Tlb_tester.run ~pages machine ~children:procs ());
+      let resp = Instrument.Summary.responders machine.Vm.Machine.xpr in
+      (pages, threshold, Stats.mean resp))
+    (List.concat_map
+       (fun pages -> List.map (fun threshold -> (pages, threshold)) [ 2; 8; 32 ])
+       [ 1; 4; 12 ])
 
-let run ?(runs = 3) ?(procs_points = [ 3; 7; 14 ]) () =
-  let grid =
-    List.map
-      (fun v -> List.map (fun k -> measure_variant ~runs ~procs:k v) procs_points)
-      variants
+(* The variant grid and the threshold sweep fan their cells out through
+   the domain pool (every cell seeds its own machines); [find_crossover]
+   stays sequential because each step depends on the previous mean. *)
+let run ?(jobs = 1) ?(runs = 3) ?(procs_points = [ 3; 7; 14 ]) () =
+  let cell_results =
+    Sim.Domain_pool.map_trials ~jobs
+      (fun (v, k) -> measure_variant ~runs ~procs:k v)
+      (List.concat_map
+         (fun v -> List.map (fun k -> (v, k)) procs_points)
+         variants)
   in
+  let grid = Figure2.chunks (List.length procs_points) cell_results in
   {
     grid;
     procs_points;
     crossover = find_crossover ();
-    threshold_rows = threshold_sweep ();
+    threshold_rows = threshold_sweep ~jobs ();
   }
 
 let render t =

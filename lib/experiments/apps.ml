@@ -36,12 +36,21 @@ let scaled_camelot scale =
       max 20 (c.Workloads.Camelot.transactions * scale / 100);
   }
 
-let run ?(scale = 100) ?(params = Sim.Params.production) () =
-  {
-    mach = Workloads.Mach_build.run ~params ~cfg:(scaled_mach scale) ();
-    parthenon = Workloads.Parthenon.run ~params ~cfg:(scaled_parthenon scale) ();
-    agora = Workloads.Agora.run ~params ~cfg:(scaled_agora scale) ();
-    camelot = Workloads.Camelot.run ~params ~cfg:(scaled_camelot scale) ();
-  }
+(* Each application boots its own machine from [params], so the four
+   runs are independent trials for the domain pool. *)
+let run ?(jobs = 1) ?(scale = 100) ?(params = Sim.Params.production) () =
+  match
+    Sim.Domain_pool.map_trials ~jobs
+      (fun run -> run ())
+      [
+        (fun () -> Workloads.Mach_build.run ~params ~cfg:(scaled_mach scale) ());
+        (fun () ->
+          Workloads.Parthenon.run ~params ~cfg:(scaled_parthenon scale) ());
+        (fun () -> Workloads.Agora.run ~params ~cfg:(scaled_agora scale) ());
+        (fun () -> Workloads.Camelot.run ~params ~cfg:(scaled_camelot scale) ());
+      ]
+  with
+  | [ mach; parthenon; agora; camelot ] -> { mach; parthenon; agora; camelot }
+  | _ -> assert false
 
 let all t = [ t.mach; t.parthenon; t.agora; t.camelot ]

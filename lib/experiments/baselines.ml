@@ -117,10 +117,12 @@ let measure_policy ~label ~params ~protects ~sharers =
 
 type t = { rows : row list }
 
-let run ?(protects = 8) ?(sharers = 6) () =
+(* Each policy row is measured on its own freshly booted machine (fixed
+   seed 4242), so the rows are independent trials for the domain pool. *)
+let run ?(jobs = 1) ?(protects = 8) ?(sharers = 6) () =
   {
     rows =
-      List.map
+      Sim.Domain_pool.map_trials ~jobs
         (fun (label, params) ->
           measure_policy ~label ~params ~protects ~sharers)
         policies;

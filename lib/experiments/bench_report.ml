@@ -21,12 +21,16 @@ let schema_version = 1
 
 let slug name = String.lowercase_ascii name
 
-let metrics_of ~(fig : Figure2.t) ~(t1 : Table1.t) ~(apps : Apps.t) =
+(* Each section below fills its own registry; [metrics_of] merges them
+   into the exported one with Metrics.merge — the same rules that combine
+   per-domain registries after a parallel sweep.  Merging in a fixed
+   section order (and serializing in sorted name order) keeps the report
+   byte-identical no matter how many jobs produced the underlying data. *)
+
+let figure2_metrics (fig : Figure2.t) =
   let m = Metrics.create () in
   let gauge name v = Metrics.set (Metrics.gauge m name) v in
-  let count name n = Metrics.inc ~by:n (Metrics.counter m name) in
   let hist name vs = Metrics.observe_list (Metrics.histogram m name) vs in
-  (* --- Figure 2: basic shootdown costs and the least-squares fit --- *)
   gauge "figure2/fit/intercept_us" fig.Figure2.fit.Stats.intercept;
   gauge "figure2/fit/slope_us_per_proc" fig.Figure2.fit.Stats.slope;
   gauge "figure2/fit/r2" fig.Figure2.fit.Stats.r2;
@@ -38,7 +42,12 @@ let metrics_of ~(fig : Figure2.t) ~(t1 : Table1.t) ~(apps : Apps.t) =
         (Printf.sprintf "figure2/elapsed_us/procs=%02d" p.Figure2.processors)
         p.Figure2.samples)
     fig.Figure2.points;
-  (* --- Table 1: lazy evaluation on/off --- *)
+  m
+
+let table1_metrics (t1 : Table1.t) =
+  let m = Metrics.create () in
+  let gauge name v = Metrics.set (Metrics.gauge m name) v in
+  let count name n = Metrics.inc ~by:n (Metrics.counter m name) in
   let t1_cell prefix (c : Table1.cell) =
     count (prefix ^ "/kernel_events") c.Table1.kernel_events;
     count (prefix ^ "/user_events") c.Table1.user_events;
@@ -50,7 +59,14 @@ let metrics_of ~(fig : Figure2.t) ~(t1 : Table1.t) ~(apps : Apps.t) =
   t1_cell "table1/mach/lazy_on" t1.Table1.mach_on;
   t1_cell "table1/parthenon/lazy_off" t1.Table1.parthenon_off;
   t1_cell "table1/parthenon/lazy_on" t1.Table1.parthenon_on;
-  (* --- Tables 2-4 plus per-application machine counters --- *)
+  m
+
+(* Tables 2-4 plus per-application machine counters *)
+let apps_metrics (apps : Apps.t) =
+  let m = Metrics.create () in
+  let gauge name v = Metrics.set (Metrics.gauge m name) v in
+  let count name n = Metrics.inc ~by:n (Metrics.counter m name) in
+  let hist name vs = Metrics.observe_list (Metrics.histogram m name) vs in
   List.iter
     (fun (r : Workloads.Driver.report) ->
       let app = slug r.Workloads.Driver.name in
@@ -89,6 +105,13 @@ let metrics_of ~(fig : Figure2.t) ~(t1 : Table1.t) ~(apps : Apps.t) =
     (Apps.all apps);
   m
 
+let metrics_of ~(fig : Figure2.t) ~(t1 : Table1.t) ~(apps : Apps.t) =
+  let m = Metrics.create () in
+  Metrics.merge ~into:m (figure2_metrics fig);
+  Metrics.merge ~into:m (table1_metrics t1);
+  Metrics.merge ~into:m (apps_metrics apps);
+  m
+
 let to_json ~mode metrics =
   Json.Obj
     [
@@ -98,6 +121,18 @@ let to_json ~mode metrics =
     ]
 
 let report ~mode ~fig ~t1 ~apps = to_json ~mode (metrics_of ~fig ~t1 ~apps)
+
+(* Wall-clock run information lives in its own report, NOT in the metrics
+   report above: wall time varies run to run and with the job count, while
+   the metrics report is required to be byte-identical for the same seeds
+   at every job count (the determinism gate diffs it directly). *)
+let run_info ~jobs ~wall_time_s =
+  Json.Obj
+    [
+      ("schema", Json.Int schema_version);
+      ("jobs", Json.Int jobs);
+      ("wall_time_s", Json.Float wall_time_s);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* The regression gate. *)

@@ -27,29 +27,51 @@ type t = {
 
 let paper_fit = { Stats.slope = 55.0; intercept = 430.0; r2 = 1.0 }
 
-let run ?(max_procs = 15) ?(runs_per_point = 10) ?(fit_limit = 12)
+(* One (k children, run r) trial.  Each trial boots a fresh machine from a
+   seed derived only from (k, r), which is the determinism contract that
+   lets the sweep fan out over Sim.Domain_pool: results are bit-for-bit
+   identical at any job count. *)
+let trial ~params (k, r) =
+  let seed = Int64.of_int ((1000 * k) + r + 1) in
+  let res = Workloads.Tlb_tester.run_fresh ~params ~children:k ~seed () in
+  if res.Workloads.Tlb_tester.processors <> k then
+    failwith
+      (Printf.sprintf "figure2: expected %d processors involved, got %d" k
+         res.Workloads.Tlb_tester.processors);
+  (res.Workloads.Tlb_tester.initiator_elapsed,
+   res.Workloads.Tlb_tester.consistent)
+
+let rec chunks n = function
+  | [] -> []
+  | xs ->
+      let rec split i acc = function
+        | rest when i = n -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> split (i + 1) (x :: acc) rest
+      in
+      let group, rest = split 0 [] xs in
+      group :: chunks n rest
+
+let run ?(jobs = 1) ?(max_procs = 15) ?(runs_per_point = 10) ?(fit_limit = 12)
     ?(params = Sim.Params.default) () =
-  let all_consistent = ref true in
-  let points =
-    List.init max_procs (fun i ->
+  let trial_inputs =
+    List.concat_map
+      (fun i ->
         let k = i + 1 in
-        let samples =
-          List.init runs_per_point (fun r ->
-              let seed = Int64.of_int ((1000 * k) + r + 1) in
-              let res =
-                Workloads.Tlb_tester.run_fresh ~params ~children:k ~seed ()
-              in
-              if not res.Workloads.Tlb_tester.consistent then
-                all_consistent := false;
-              if res.Workloads.Tlb_tester.processors <> k then
-                failwith
-                  (Printf.sprintf
-                     "figure2: expected %d processors involved, got %d" k
-                     res.Workloads.Tlb_tester.processors);
-              res.Workloads.Tlb_tester.initiator_elapsed)
-        in
-        { processors = k; mean = Stats.mean samples; std = Stats.std samples;
-          samples })
+        List.init runs_per_point (fun r -> (k, r)))
+      (List.init max_procs Fun.id)
+  in
+  let results = Sim.Domain_pool.map_trials ~jobs (trial ~params) trial_inputs in
+  let all_consistent =
+    List.for_all (fun (_, consistent) -> consistent) results
+  in
+  let points =
+    List.mapi
+      (fun i per_point ->
+        let samples = List.map fst per_point in
+        { processors = i + 1; mean = Stats.mean samples;
+          std = Stats.std samples; samples })
+      (chunks runs_per_point results)
   in
   let fit_points =
     List.filter_map
@@ -59,12 +81,7 @@ let run ?(max_procs = 15) ?(runs_per_point = 10) ?(fit_limit = 12)
         else None)
       points
   in
-  {
-    points;
-    fit = Stats.linear_fit fit_points;
-    fit_limit;
-    all_consistent = !all_consistent;
-  }
+  { points; fit = Stats.linear_fit fit_points; fit_limit; all_consistent }
 
 (* ASCII rendering: the data table plus a bar plot with the trend line. *)
 let render t =

@@ -28,54 +28,69 @@ type point = {
 
 type t = { fit : Stats.fit; points : point list }
 
-let measure ?(runs = 3) ~ncpus ~scaled_bus () =
+(* One (machine size, bus regime, run) trial — the seed derives only from
+   (ncpus, r), so the sweep fans out through Sim.Domain_pool with results
+   identical to a sequential pass. *)
+let trial (ncpus, scaled_bus, r) =
   let involved = ncpus - 2 in
-  let samples =
-    List.init runs (fun r ->
-        let params =
-          {
-            Sim.Params.default with
-            ncpus;
-            seed = Int64.of_int ((ncpus * 677) + r);
-            (* a machine of this size would not ship with a 1989 bus; scale
-               service time down with the processor count when asked *)
-            bus_service =
-              (if scaled_bus then
-                 Sim.Params.default.Sim.Params.bus_service *. 16.0
-                 /. float_of_int ncpus
-               else Sim.Params.default.Sim.Params.bus_service);
-            store_traffic_rate =
-              (if scaled_bus then Sim.Params.default.Sim.Params.store_traffic_rate
-               else
-                 (* keep total background load at the 16-CPU level so the
-                    un-scaled bus is not saturated outright *)
-                 Sim.Params.default.Sim.Params.store_traffic_rate *. 16.0
-                 /. float_of_int ncpus);
-          }
-        in
-        let res =
-          Workloads.Tlb_tester.run_fresh ~params ~children:involved
-            ~seed:params.Sim.Params.seed ()
-        in
-        if not res.Workloads.Tlb_tester.consistent then
-          failwith "scaling: consistency violated";
-        res.Workloads.Tlb_tester.initiator_elapsed)
+  let params =
+    {
+      Sim.Params.default with
+      ncpus;
+      seed = Int64.of_int ((ncpus * 677) + r);
+      (* a machine of this size would not ship with a 1989 bus; scale
+         service time down with the processor count when asked *)
+      bus_service =
+        (if scaled_bus then
+           Sim.Params.default.Sim.Params.bus_service *. 16.0
+           /. float_of_int ncpus
+         else Sim.Params.default.Sim.Params.bus_service);
+      store_traffic_rate =
+        (if scaled_bus then Sim.Params.default.Sim.Params.store_traffic_rate
+         else
+           (* keep total background load at the 16-CPU level so the
+              un-scaled bus is not saturated outright *)
+           Sim.Params.default.Sim.Params.store_traffic_rate *. 16.0
+           /. float_of_int ncpus);
+    }
   in
-  (involved, Stats.mean samples)
+  let res =
+    Workloads.Tlb_tester.run_fresh ~params ~children:involved
+      ~seed:params.Sim.Params.seed ()
+  in
+  if not res.Workloads.Tlb_tester.consistent then
+    failwith "scaling: consistency violated";
+  res.Workloads.Tlb_tester.initiator_elapsed
 
-let run ?(runs = 3) ?(sizes = [ 16; 24; 32; 48; 64 ]) ~fit () =
+let run ?(jobs = 1) ?(runs = 3) ?(sizes = [ 16; 24; 32; 48; 64 ]) ~fit () =
   let predict k =
     fit.Stats.intercept +. (fit.Stats.slope *. float_of_int k)
   in
-  let points =
+  let cells =
     List.concat_map
-      (fun ncpus ->
-        List.map
-          (fun scaled_bus ->
-            let involved, measured = measure ~runs ~ncpus ~scaled_bus () in
-            { ncpus; involved; measured; predicted = predict involved; scaled_bus })
-          [ true; false ])
+      (fun ncpus -> [ (ncpus, true); (ncpus, false) ])
       sizes
+  in
+  let samples =
+    Sim.Domain_pool.map_trials ~jobs trial
+      (List.concat_map
+         (fun (ncpus, scaled_bus) ->
+           List.init runs (fun r -> (ncpus, scaled_bus, r)))
+         cells)
+  in
+  let points =
+    List.mapi
+      (fun i per_cell ->
+        let ncpus, scaled_bus = List.nth cells i in
+        let involved = ncpus - 2 in
+        {
+          ncpus;
+          involved;
+          measured = Stats.mean per_cell;
+          predicted = predict involved;
+          scaled_bus;
+        })
+      (Figure2.chunks runs samples)
   in
   { fit; points }
 

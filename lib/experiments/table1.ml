@@ -42,24 +42,28 @@ let cell_of_report (r : Workloads.Driver.report) =
       List.fold_left ( +. ) 0.0 ke +. List.fold_left ( +. ) 0.0 ue;
   }
 
-let run ?(scale = 100) ?(params = Sim.Params.production) () =
+(* The four cells are independent runs on fresh machines (the seed comes
+   from [params], not from shared state), so they fan out through the
+   domain pool; order preservation keeps the destructuring stable. *)
+let run ?(jobs = 1) ?(scale = 100) ?(params = Sim.Params.production) () =
   let with_lazy v = { params with Sim.Params.lazy_check = v } in
-  let mach lazy_on =
+  let cell (app, lazy_on) =
     cell_of_report
-      (Workloads.Mach_build.run ~params:(with_lazy lazy_on)
-         ~cfg:(Apps.scaled_mach scale) ())
+      (match app with
+      | `Mach ->
+          Workloads.Mach_build.run ~params:(with_lazy lazy_on)
+            ~cfg:(Apps.scaled_mach scale) ()
+      | `Parthenon ->
+          Workloads.Parthenon.run ~params:(with_lazy lazy_on)
+            ~cfg:(Apps.scaled_parthenon scale) ())
   in
-  let parthenon lazy_on =
-    cell_of_report
-      (Workloads.Parthenon.run ~params:(with_lazy lazy_on)
-         ~cfg:(Apps.scaled_parthenon scale) ())
-  in
-  {
-    mach_off = mach false;
-    mach_on = mach true;
-    parthenon_off = parthenon false;
-    parthenon_on = parthenon true;
-  }
+  match
+    Sim.Domain_pool.map_trials ~jobs cell
+      [ (`Mach, false); (`Mach, true); (`Parthenon, false); (`Parthenon, true) ]
+  with
+  | [ mach_off; mach_on; parthenon_off; parthenon_on ] ->
+      { mach_off; mach_on; parthenon_off; parthenon_on }
+  | _ -> assert false
 
 let overhead_reduction ~off ~on_ =
   if off.total_overhead <= 0.0 then 0.0

@@ -8,7 +8,14 @@
    Each entry remembers the page-table entry it was loaded from, which is
    how the asynchronous reference/modify-bit writeback hazard of section 3
    is modelled: a stale TLB entry can write those bits back into a PTE the
-   OS has since reused. *)
+   OS has since reused.
+
+   Lookup, insert and single-page invalidate go through a (space, vpn) ->
+   slot hash index kept in sync with the FIFO slot array, so the per-access
+   cost is O(1) instead of a scan of every slot; [insert] guarantees at
+   most one slot per (space, vpn), which is what makes the index sound.
+   Range and space-wide operations still scan — they are rare (shootdown
+   responders, context switches) and must visit every slot anyway. *)
 
 type entry = {
   space : int;
@@ -23,6 +30,8 @@ type entry = {
 type t = {
   size : int;
   slots : entry option array;
+  index : (int, int) Hashtbl.t; (* packed (space, vpn) -> slot *)
+  mutable live : int; (* occupied slots, keeps [resident] O(1) *)
   mutable fifo_next : int;
   (* statistics *)
   mutable hits : int;
@@ -35,6 +44,8 @@ let create ~size =
   {
     size;
     slots = Array.make size None;
+    index = Hashtbl.create (2 * size);
+    live = 0;
     fifo_next = 0;
     hits = 0;
     misses = 0;
@@ -42,64 +53,70 @@ let create ~size =
     single_invalidates = 0;
   }
 
+(* A 32-bit address space with 4 KB pages means vpn < 2^20, so (space,
+   vpn) packs losslessly into one immediate int — hashtable operations on
+   the index allocate nothing. *)
+let key ~space ~vpn = (space lsl 20) lor vpn
+
+let clear_slot t i =
+  match t.slots.(i) with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.index (key ~space:e.space ~vpn:e.vpn);
+      t.slots.(i) <- None;
+      t.live <- t.live - 1
+
 let lookup t ~space ~vpn =
-  let found = ref None in
-  for i = 0 to t.size - 1 do
-    match t.slots.(i) with
-    | Some e when e.space = space && e.vpn = vpn -> found := Some e
-    | Some _ | None -> ()
-  done;
-  (match !found with
-  | Some _ -> t.hits <- t.hits + 1
-  | None -> t.misses <- t.misses + 1);
-  !found
+  match Hashtbl.find_opt t.index (key ~space ~vpn) with
+  | Some i ->
+      t.hits <- t.hits + 1;
+      t.slots.(i)
+  | None ->
+      t.misses <- t.misses + 1;
+      None
 
 (* FIFO replacement, as on simple hardware of the period. *)
 let insert t entry =
   (* Replace an existing translation for the same page, if any. *)
-  let existing = ref None in
-  for i = 0 to t.size - 1 do
-    match t.slots.(i) with
-    | Some e when e.space = entry.space && e.vpn = entry.vpn ->
-        existing := Some i
-    | Some _ | None -> ()
-  done;
   let slot =
-    match !existing with
+    match Hashtbl.find_opt t.index (key ~space:entry.space ~vpn:entry.vpn) with
     | Some i -> i
     | None ->
         let i = t.fifo_next in
         t.fifo_next <- (t.fifo_next + 1) mod t.size;
         i
   in
-  t.slots.(slot) <- Some entry
+  clear_slot t slot;
+  t.slots.(slot) <- Some entry;
+  t.live <- t.live + 1;
+  Hashtbl.replace t.index (key ~space:entry.space ~vpn:entry.vpn) slot
 
 let invalidate_page t ~space ~vpn =
-  for i = 0 to t.size - 1 do
-    match t.slots.(i) with
-    | Some e when e.space = space && e.vpn = vpn ->
-        t.slots.(i) <- None;
-        t.single_invalidates <- t.single_invalidates + 1
-    | Some _ | None -> ()
-  done
+  match Hashtbl.find_opt t.index (key ~space ~vpn) with
+  | Some i ->
+      clear_slot t i;
+      t.single_invalidates <- t.single_invalidates + 1
+  | None -> ()
 
 let invalidate_range t ~space ~lo ~hi =
   for i = 0 to t.size - 1 do
     match t.slots.(i) with
     | Some e when e.space = space && e.vpn >= lo && e.vpn < hi ->
-        t.slots.(i) <- None;
+        clear_slot t i;
         t.single_invalidates <- t.single_invalidates + 1
     | Some _ | None -> ()
   done
 
 let flush_all t =
   Array.fill t.slots 0 t.size None;
+  Hashtbl.reset t.index;
+  t.live <- 0;
   t.flushes <- t.flushes + 1
 
 let flush_space t ~space =
   for i = 0 to t.size - 1 do
     match t.slots.(i) with
-    | Some e when e.space = space -> t.slots.(i) <- None
+    | Some e when e.space = space -> clear_slot t i
     | Some _ | None -> ()
   done;
   t.flushes <- t.flushes + 1
@@ -108,7 +125,7 @@ let flush_space t ~space =
 let flush_user t ~kernel_space =
   for i = 0 to t.size - 1 do
     match t.slots.(i) with
-    | Some e when e.space <> kernel_space -> t.slots.(i) <- None
+    | Some e when e.space <> kernel_space -> clear_slot t i
     | Some _ | None -> ()
   done;
   t.flushes <- t.flushes + 1
@@ -123,7 +140,7 @@ let has_space t ~space =
     (fun s -> match s with Some e -> e.space = space | None -> false)
     t.slots
 
-let resident t = List.length (entries t)
+let resident t = t.live
 let hits t = t.hits
 let misses t = t.misses
 let flushes t = t.flushes

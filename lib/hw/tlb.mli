@@ -2,7 +2,11 @@
     replacement, per-entry invalidation and whole-buffer flushes.  Each
     entry remembers the PTE it was loaded from, which is how the
     asynchronous reference/modify-bit writeback hazard of paper section 3
-    is modelled. *)
+    is modelled.
+
+    [lookup], [insert], [invalidate_page] and [resident] are O(1) via a
+    (space, vpn) hash index kept in sync with the slot array; range and
+    space-wide operations scan the slots. *)
 
 type entry = {
   space : int; (** pmap identifier; 0 is the kernel *)

@@ -79,6 +79,30 @@ let names t =
 
 let find t name = Hashtbl.find_opt t.tbl name
 
+(* Merge [src] into [into] — how per-domain (or per-section) registries
+   combine into the single exported report.  Counters add, gauges take
+   the source value (last writer wins; an unset nan source is skipped),
+   histograms append the source samples in their observation order.
+   Sources are walked in sorted-name order, so merging the same set of
+   registries always yields the same result no matter how trials were
+   scheduled; a name registered as different kinds in the two registries
+   raises Invalid_argument (via find_or_register). *)
+let merge ~into src =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt src.tbl name with
+      | None -> ()
+      | Some (Counter c) -> inc ~by:c.count (counter into name)
+      | Some (Gauge g) ->
+          (* register the name even while unset, so the merged schema has
+             every source gauge; only a *set* value overwrites *)
+          let dst = gauge into name in
+          if not (Float.is_nan g.value) then set dst g.value
+      | Some (Histogram h) ->
+          let dst = histogram into name in
+          dst.samples <- List.rev_append (List.rev h.samples) dst.samples)
+    (List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) src.tbl []))
+
 (* Convenience for Engine.label_counts-style diagnostics. *)
 let counter_values t =
   Hashtbl.fold

@@ -37,6 +37,14 @@ val histogram_name : histogram -> string
 val names : t -> string list
 (** Sorted. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src] into [into]: counters add, gauges take
+    the source value (skipped while still unset/nan), histograms append
+    the source samples in observation order.  Metrics of [src] are walked
+    in sorted-name order, so a merge of the same registries is
+    deterministic.  Raises [Invalid_argument] if a name is registered as
+    different kinds in the two registries. *)
+
 type metric =
   | Counter of counter
   | Gauge of gauge

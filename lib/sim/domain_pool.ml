@@ -1,0 +1,138 @@
+(* Work-stealing pool over OCaml 5 Domains for embarrassingly-parallel
+   trial sweeps.
+
+   The experiment drivers run hundreds of *independent* single-threaded
+   simulations (one fresh machine per trial, seeded per trial).  Those
+   trials never share simulator state, so fanning them across domains is
+   safe and — because every trial derives only from its own seed — the
+   result list is bit-for-bit identical to a sequential run.
+
+   The pool partitions the trial indices into one contiguous chunk per
+   worker.  A worker claims indices from its own chunk with an atomic
+   fetch-and-add; when its chunk drains it steals from whichever chunk has
+   the most work remaining (the ebsl/schedulr shape, with a claim counter
+   per deque instead of a cell ring — trials are coarse enough, hundreds
+   of microseconds to seconds each, that claim-counter contention is
+   negligible).
+
+   After the first worker raises, the other workers stop claiming new
+   trials; the error raised to the caller is the one from the
+   lowest-numbered trial that recorded a failure. *)
+
+type chunk = { hi : int; next : int Atomic.t }
+
+(* One pool at a time: a trial function must not itself fan out, or two
+   concurrent sweeps would oversubscribe the machine with jobs^2 domains
+   and deadlock risk.  [jobs = 1] runs inline and does not take the
+   guard, so a sequential sweep nested inside a parallel one is fine. *)
+let active = Atomic.make false
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run_sequential f input results errors =
+  Array.iteri
+    (fun i x ->
+      match f x with
+      | v -> results.(i) <- Some v
+      | exception e ->
+          errors.(i) <- Some (e, Printexc.get_raw_backtrace ()))
+    input
+
+let run_parallel ~workers f input results errors =
+  let n = Array.length input in
+  let chunks =
+    Array.init workers (fun w ->
+        { hi = (w + 1) * n / workers; next = Atomic.make (w * n / workers) })
+  in
+  let failed = Atomic.make false in
+  let run_trial i =
+    match f input.(i) with
+    | v -> results.(i) <- Some v
+    | exception e ->
+        errors.(i) <- Some (e, Printexc.get_raw_backtrace ());
+        Atomic.set failed true
+  in
+  (* claim the next index of [c]; None when the chunk is exhausted *)
+  let claim c =
+    let i = Atomic.fetch_and_add c.next 1 in
+    if i < c.hi then Some i else None
+  in
+  let steal () =
+    (* victim selection: the chunk with the most unclaimed trials *)
+    let best = ref (-1) and best_remaining = ref 0 in
+    Array.iteri
+      (fun j c ->
+        let remaining = c.hi - Atomic.get c.next in
+        if remaining > !best_remaining then begin
+          best := j;
+          best_remaining := remaining
+        end)
+      chunks;
+    if !best < 0 then None else Some chunks.(!best)
+  in
+  let worker w () =
+    let rec local () =
+      if not (Atomic.get failed) then
+        match claim chunks.(w) with
+        | Some i ->
+            run_trial i;
+            local ()
+        | None -> stealing ()
+    and stealing () =
+      if not (Atomic.get failed) then
+        match steal () with
+        | None -> ()
+        | Some victim -> (
+            (* the claim can lose a race with the victim; re-scan if so *)
+            match claim victim with
+            | Some i ->
+                run_trial i;
+                stealing ()
+            | None -> stealing ())
+    in
+    local ()
+  in
+  let domains =
+    Array.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1)))
+  in
+  (* the calling domain is worker 0 *)
+  worker 0 ();
+  Array.iter Domain.join domains
+
+let map_trials ~jobs f xs =
+  if jobs < 1 then invalid_arg "Domain_pool.map_trials: jobs must be >= 1";
+  match xs with
+  | [] -> []
+  | _ when jobs = 1 ->
+      (* fast path: exactly the pre-pool sequential behaviour — no
+         domains, no atomics, no guard *)
+      List.map f xs
+  | _ ->
+      if not (Atomic.compare_and_set active false true) then
+        invalid_arg
+          "Domain_pool.map_trials: nested parallel use (a pool is already \
+           running; use jobs:1 from inside a trial)";
+      Fun.protect
+        ~finally:(fun () -> Atomic.set active false)
+        (fun () ->
+          let input = Array.of_list xs in
+          let n = Array.length input in
+          let results = Array.make n None in
+          let errors = Array.make n None in
+          let workers = min jobs n in
+          if workers = 1 then run_sequential f input results errors
+          else run_parallel ~workers f input results errors;
+          (* deterministic error propagation: the lowest failed index *)
+          Array.iter
+            (function
+              | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+              | None -> ())
+            errors;
+          Array.to_list
+            (Array.map
+               (function
+                 | Some v -> v
+                 | None ->
+                     (* unreachable: no error implies every slot filled *)
+                     assert false)
+               results))

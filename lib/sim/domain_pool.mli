@@ -1,0 +1,27 @@
+(** Work-stealing pool over OCaml 5 [Domain]s for independent trial
+    sweeps.
+
+    The determinism contract (see docs/PARALLELISM.md): a trial function
+    given to {!map_trials} must depend only on its input — in practice,
+    boot a fresh machine from a per-trial seed — and must not touch state
+    shared with other trials.  Under that contract the result is
+    bit-for-bit identical for every [jobs] value. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [--jobs] default of the
+    bench and CLI drivers. *)
+
+val map_trials : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_trials ~jobs f xs] maps [f] over [xs] on up to [jobs] domains
+    (never more than [List.length xs]) and returns the results in input
+    order.  [jobs = 1] is a guaranteed-sequential fast path equal to
+    [List.map f xs].
+
+    If a trial raises, the exception from the lowest-numbered failed
+    trial is re-raised in the caller (with its backtrace) once all
+    workers have stopped; remaining unclaimed trials are abandoned.
+
+    At most one parallel pool may be active per process: calling
+    [map_trials ~jobs:(>1)] from inside a trial raises
+    [Invalid_argument] (nested [jobs:1] sweeps are allowed).
+    @raise Invalid_argument if [jobs < 1] or on nested parallel use. *)

@@ -5,7 +5,13 @@
    simulated time pass, or [Suspend register] to park itself until some
    other coroutine wakes it.  The engine owns a single event heap; running
    the simulation is popping events in (time, seq) order until the heap
-   drains or a time limit is reached. *)
+   drains or a time limit is reached.
+
+   Per-label event accounting goes through Instrument.Metrics counters.
+   The counter handle is resolved when the event is *scheduled* — the
+   handles for the engine's own labels are resolved once at creation — so
+   the per-event [step] does a direct field increment instead of a
+   string-keyed hashtable lookup. *)
 
 exception Runaway of string
 
@@ -23,24 +29,37 @@ type t = {
   mutable seq : int;
   mutable events : int; (* total processed, for runaway detection *)
   mutable max_events : int;
-  heap : (string * (unit -> unit)) Heap.t;
+  heap : (Instrument.Metrics.counter * (unit -> unit)) Heap.t;
   prng : Prng.t;
   mutable live : int; (* spawned coroutines not yet finished *)
   metrics : Instrument.Metrics.t; (* per-label processed-event counters *)
   mutable tracer : Instrument.Trace.t option; (* structured span events *)
+  (* pre-resolved counter handles for the engine's own schedule sites *)
+  c_at : Instrument.Metrics.counter;
+  c_after : Instrument.Metrics.counter;
+  c_delay : Instrument.Metrics.counter;
+  c_wake : Instrument.Metrics.counter;
+  c_spawn : Instrument.Metrics.counter;
 }
 
 let create ?(seed = 0x5EEDL) ?(max_events = 200_000_000) () =
+  let metrics = Instrument.Metrics.create () in
+  let c_at = Instrument.Metrics.counter metrics "at" in
   {
     now = 0.0;
     seq = 0;
     events = 0;
     max_events;
-    heap = Heap.create ~dummy:("", ignore);
+    heap = Heap.create ~dummy:(c_at, ignore);
     prng = Prng.create seed;
     live = 0;
-    metrics = Instrument.Metrics.create ();
+    metrics;
     tracer = None;
+    c_at;
+    c_after = Instrument.Metrics.counter metrics "after";
+    c_delay = Instrument.Metrics.counter metrics "delay";
+    c_wake = Instrument.Metrics.counter metrics "wake";
+    c_spawn = Instrument.Metrics.counter metrics "spawn";
   }
 
 let now t = t.now
@@ -49,12 +68,23 @@ let live t = t.live
 let events_processed t = t.events
 let pending t = Heap.length t.heap
 
-let at ?(label = "at") t time thunk =
+let schedule t counter time thunk =
   let time = if time < t.now then t.now else time in
   t.seq <- t.seq + 1;
-  Heap.push t.heap time t.seq (label, thunk)
+  Heap.push t.heap time t.seq (counter, thunk)
 
-let after ?(label = "after") t dt thunk = at ~label t (t.now +. dt) thunk
+let counter_of t = function
+  | "at" -> t.c_at
+  | "after" -> t.c_after
+  | "delay" -> t.c_delay
+  | "wake" -> t.c_wake
+  | "spawn" -> t.c_spawn
+  | label -> Instrument.Metrics.counter t.metrics label
+
+let at ?(label = "at") t time thunk = schedule t (counter_of t label) time thunk
+
+let after ?(label = "after") t dt thunk =
+  schedule t (counter_of t label) (t.now +. dt) thunk
 
 let metrics t = t.metrics
 let label_counts t = Instrument.Metrics.counter_values t.metrics
@@ -70,7 +100,7 @@ let suspend register = Effect.perform (Suspend register)
 let wake t w =
   if not w.fired then begin
     w.fired <- true;
-    at ~label:"wake" t t.now w.resume
+    schedule t t.c_wake t.now w.resume
   end
 
 let spawn t ?(name = "coroutine") fn =
@@ -97,7 +127,8 @@ let spawn t ?(name = "coroutine") fn =
             | Delay dt ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    after ~label:"delay" t dt (fun () -> continue k ()))
+                    schedule t t.c_delay (t.now +. dt) (fun () ->
+                        continue k ()))
             | Suspend register ->
                 Some
                   (fun (k : (a, unit) continuation) ->
@@ -107,13 +138,14 @@ let spawn t ?(name = "coroutine") fn =
             | _ -> None);
       }
   in
-  at ~label:"spawn" t t.now fiber
+  schedule t t.c_spawn t.now fiber
 
 let step t =
   if Heap.is_empty t.heap then false
   else begin
-    let time, _, (label, thunk) = Heap.pop t.heap in
-    Instrument.Metrics.inc (Instrument.Metrics.counter t.metrics label);
+    let time = Heap.min_time t.heap in
+    let counter, thunk = Heap.pop_payload t.heap in
+    Instrument.Metrics.inc counter;
     t.now <- time;
     t.events <- t.events + 1;
     if t.events > t.max_events then
@@ -133,10 +165,13 @@ let run t =
 let run_until t limit =
   let continue_ = ref true in
   while !continue_ do
-    match Heap.peek_time t.heap with
-    | None -> continue_ := false
-    | Some time when time > limit ->
+    if Heap.is_empty t.heap then continue_ := false
+    else begin
+      let time = Heap.min_time t.heap in
+      if time > limit then begin
         t.now <- limit;
         continue_ := false
-    | Some _ -> ignore (step t)
+      end
+      else ignore (step t)
+    end
   done

@@ -1,72 +1,123 @@
 (* Binary min-heap keyed by (time, sequence number).  The sequence number
    makes the ordering total, so events scheduled for the same instant fire
-   in FIFO order — a property the engine's determinism tests rely on. *)
+   in FIFO order — a property the engine's determinism tests rely on.
+
+   The storage is structure-of-arrays: an unboxed [float array] of times,
+   an [int array] of sequence numbers and a payload array.  The old
+   array-of-tuples layout allocated a fresh [(float, int, 'a)] tuple (plus
+   a boxed float) for every push and every sift swap; on the simulator hot
+   path that was one short-lived allocation per scheduled event.  Sifting
+   uses the hole technique — the moving element is held in registers and
+   written once at its final slot — so a sift of depth d costs d slot
+   copies instead of 3d. *)
 
 type 'a t = {
-  mutable data : (float * int * 'a) array;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable size : int;
   dummy : 'a;
 }
 
-let create ~dummy = { data = Array.make 64 (0., 0, dummy); size = 0; dummy }
+let initial_capacity = 64
+
+let create ~dummy =
+  {
+    times = Array.make initial_capacity 0.;
+    seqs = Array.make initial_capacity 0;
+    vals = Array.make initial_capacity dummy;
+    size = 0;
+    dummy;
+  }
 
 let length h = h.size
 let is_empty h = h.size = 0
 
-let key_lt (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
-
 let grow h =
-  let n = Array.length h.data in
-  let data = Array.make (2 * n) (0., 0, h.dummy) in
-  Array.blit h.data 0 data 0 n;
-  h.data <- data
+  let n = Array.length h.times in
+  let times = Array.make (2 * n) 0. in
+  let seqs = Array.make (2 * n) 0 in
+  let vals = Array.make (2 * n) h.dummy in
+  Array.blit h.times 0 times 0 n;
+  Array.blit h.seqs 0 seqs 0 n;
+  Array.blit h.vals 0 vals 0 n;
+  h.times <- times;
+  h.seqs <- seqs;
+  h.vals <- vals
 
 let push h time seq v =
-  if h.size = Array.length h.data then grow h;
-  h.data.(h.size) <- (time, seq, v);
+  if h.size = Array.length h.times then grow h;
+  let i = ref h.size in
   h.size <- h.size + 1;
-  (* sift up *)
-  let rec up i =
-    if i > 0 then begin
-      let parent = (i - 1) / 2 in
-      if key_lt h.data.(i) h.data.(parent) then begin
-        let tmp = h.data.(i) in
-        h.data.(i) <- h.data.(parent);
-        h.data.(parent) <- tmp;
-        up parent
-      end
+  (* bubble the hole up: parents later than (time, seq) slide down *)
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pt = h.times.(p) in
+    if time < pt || (time = pt && seq < h.seqs.(p)) then begin
+      h.times.(!i) <- pt;
+      h.seqs.(!i) <- h.seqs.(p);
+      h.vals.(!i) <- h.vals.(p);
+      i := p
     end
-  in
-  up (h.size - 1)
+    else moving := false
+  done;
+  h.times.(!i) <- time;
+  h.seqs.(!i) <- seq;
+  h.vals.(!i) <- v
+
+(* Remove the root and re-establish the heap by sifting the last element
+   down from the top (hole technique again). *)
+let remove_min h =
+  h.size <- h.size - 1;
+  let n = h.size in
+  let mt = h.times.(n) and ms = h.seqs.(n) and mv = h.vals.(n) in
+  h.vals.(n) <- h.dummy (* release the payload reference *);
+  if n > 0 then begin
+    let i = ref 0 in
+    let moving = ref true in
+    while !moving do
+      let l = (2 * !i) + 1 in
+      if l >= n then moving := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (h.times.(r) < h.times.(l)
+               || (h.times.(r) = h.times.(l) && h.seqs.(r) < h.seqs.(l)))
+          then r
+          else l
+        in
+        let ct = h.times.(c) in
+        if ct < mt || (ct = mt && h.seqs.(c) < ms) then begin
+          h.times.(!i) <- ct;
+          h.seqs.(!i) <- h.seqs.(c);
+          h.vals.(!i) <- h.vals.(c);
+          i := c
+        end
+        else moving := false
+      end
+    done;
+    h.times.(!i) <- mt;
+    h.seqs.(!i) <- ms;
+    h.vals.(!i) <- mv
+  end
 
 let pop h =
   if h.size = 0 then invalid_arg "Heap.pop: empty";
-  let top = h.data.(0) in
-  h.size <- h.size - 1;
-  h.data.(0) <- h.data.(h.size);
-  h.data.(h.size) <- (0., 0, h.dummy);
-  (* sift down *)
-  let rec down i =
-    let l = (2 * i) + 1 and r = (2 * i) + 2 in
-    let smallest =
-      if l < h.size && key_lt h.data.(l) h.data.(i) then l else i
-    in
-    let smallest =
-      if r < h.size && key_lt h.data.(r) h.data.(smallest) then r
-      else smallest
-    in
-    if smallest <> i then begin
-      let tmp = h.data.(i) in
-      h.data.(i) <- h.data.(smallest);
-      h.data.(smallest) <- tmp;
-      down smallest
-    end
-  in
-  down 0;
-  top
+  let time = h.times.(0) and seq = h.seqs.(0) and v = h.vals.(0) in
+  remove_min h;
+  (time, seq, v)
 
-let peek_time h =
-  if h.size = 0 then None
-  else
-    let t, _, _ = h.data.(0) in
-    Some t
+let min_time h =
+  if h.size = 0 then invalid_arg "Heap.min_time: empty";
+  h.times.(0)
+
+let pop_payload h =
+  if h.size = 0 then invalid_arg "Heap.pop_payload: empty";
+  let v = h.vals.(0) in
+  remove_min h;
+  v
+
+let peek_time h = if h.size = 0 then None else Some h.times.(0)

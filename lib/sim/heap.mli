@@ -1,7 +1,9 @@
 (** Binary min-heap of timestamped events.
 
     Keys are [(time, seq)] pairs compared lexicographically, giving FIFO
-    order among events scheduled for the same simulated instant. *)
+    order among events scheduled for the same simulated instant.  Storage
+    is structure-of-arrays (unboxed times, seqs, payloads), so pushing an
+    event allocates nothing. *)
 
 type 'a t
 
@@ -16,6 +18,17 @@ val push : 'a t -> float -> int -> 'a -> unit
 
 val pop : 'a t -> float * int * 'a
 (** Remove and return the minimum element.
+    @raise Invalid_argument if the heap is empty. *)
+
+val min_time : 'a t -> float
+(** Timestamp of the next event without removing it — the non-allocating
+    variant of {!peek_time}.
+    @raise Invalid_argument if the heap is empty. *)
+
+val pop_payload : 'a t -> 'a
+(** Remove the minimum element and return only its payload (the
+    non-allocating variant of {!pop}; read {!min_time} first if the
+    timestamp is needed).
     @raise Invalid_argument if the heap is empty. *)
 
 val peek_time : 'a t -> float option

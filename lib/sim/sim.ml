@@ -10,3 +10,4 @@ module Cpu = Cpu
 module Spinlock = Spinlock
 module Sched = Sched
 module Sync = Sync
+module Domain_pool = Domain_pool

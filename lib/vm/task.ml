@@ -23,17 +23,19 @@ type t = {
 
 type Sim.Sched.user_data += Task_thread of t
 
-let counter = ref 0
+(* Atomic: ids must stay unique when trials run on several domains
+   (Sim.Domain_pool); they are diagnostic-only and never affect results. *)
+let counter = Atomic.make 0
 
 (* The first user page is left unmapped (null-pointer protection). *)
 let user_lo_vpn = 16
 let user_hi_vpn = Addr.vpn_of_addr Addr.user_limit
 
 let create (vms : Vmstate.t) ~name =
-  incr counter;
+  let id_ = Atomic.fetch_and_add counter 1 + 1 in
   let pmap = Pmap.create_pmap vms.Vmstate.ctx ~name in
   {
-    task_id = !counter;
+    task_id = id_;
     task_name = name;
     map = Vm_map.create ~pmap ~lo:user_lo_vpn ~hi:user_hi_vpn;
     live_threads = 0;
@@ -43,11 +45,11 @@ let create (vms : Vmstate.t) ~name =
 (* Unix-style fork: the child address space copies the parent's according
    to per-entry inheritance (copy entries become copy-on-write). *)
 let fork vms self parent ~name =
-  incr counter;
+  let id_ = Atomic.fetch_and_add counter 1 + 1 in
   let child_pmap = Pmap.create_pmap vms.Vmstate.ctx ~name in
   let map = Vm_map.fork vms self parent.map ~child_pmap in
   {
-    task_id = !counter;
+    task_id = id_;
     task_name = name;
     map;
     live_threads = 0;

@@ -35,17 +35,19 @@ type t = {
   mutable size_pages : int;
 }
 
-let map_counter = ref 0
+(* Atomic: ids must stay unique when trials run on several domains
+   (Sim.Domain_pool); they are diagnostic-only and never affect results. *)
+let map_counter = Atomic.make 0
 
 let create ~pmap ~lo ~hi =
-  incr map_counter;
+  let id_ = Atomic.fetch_and_add map_counter 1 + 1 in
   {
-    map_id = !map_counter;
+    map_id = id_;
     pmap;
     lo;
     hi;
     entries = [];
-    map_lock = Sim.Sync.create_mutex (Printf.sprintf "map%d" !map_counter);
+    map_lock = Sim.Sync.create_mutex (Printf.sprintf "map%d" id_);
     size_pages = 0;
   }
 

@@ -33,12 +33,14 @@ type t = {
   mutable refs : int;
 }
 
-let counter = ref 0
+(* Atomic: object ids must stay unique when trials run on several domains
+   (Sim.Domain_pool); they are diagnostic-only and never affect results. *)
+let counter = Atomic.make 0
 
 let create ?(backing = Anonymous) ~size () =
-  incr counter;
+  let id_ = Atomic.fetch_and_add counter 1 + 1 in
   {
-    obj_id = !counter;
+    obj_id = id_;
     backing;
     size;
     pages = Hashtbl.create 16;
@@ -61,10 +63,10 @@ let resident_count t = Hashtbl.length t.pages
    the new object starts empty and defers lookups to [t].  Used when a
    copy-on-write region is first written. *)
 let make_shadow t ~offset ~size =
-  incr counter;
+  let id_ = Atomic.fetch_and_add counter 1 + 1 in
   let s =
     {
-      obj_id = !counter;
+      obj_id = id_;
       backing = Anonymous;
       size;
       pages = Hashtbl.create 16;
