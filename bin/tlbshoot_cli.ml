@@ -5,6 +5,7 @@
      tlbshoot tables [--scale 100] [--jobs N]  (Tables 2-4, one data set)
      tlbshoot overhead [--scale 100] [--jobs N]
      tlbshoot ablations [--runs 3] [--jobs N]
+     tlbshoot faults [--trials 3] [--children 6] [--jobs N] [--json]
      tlbshoot tester --children 4 [--no-consistency | --policy ...]
      tlbshoot trace [--workload tester] [--children 4] [--scale 10] [--json]
      tlbshoot all [--scale 100] [--jobs N]
@@ -58,6 +59,13 @@ let print_pools () =
 let print_ablations ~jobs ~runs =
   let a = Experiments.Ablations.run ~jobs ~runs () in
   print_string (Experiments.Ablations.render a)
+
+let print_faults ~jobs ~trials ~children ~emit_json =
+  let r = Experiments.Resilience.run ~jobs ~trials ~children () in
+  if emit_json then
+    print_string (Instrument.Json.to_string (Experiments.Resilience.to_json r))
+  else print_string (Experiments.Resilience.render r);
+  if not (Experiments.Resilience.all_green r) then exit 1
 
 let run_tester ~children ~policy =
   let params =
@@ -204,6 +212,23 @@ let ablations_cmd =
       $ jobs_arg
       $ Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Runs per point."))
 
+let faults_cmd =
+  let trials_arg =
+    Arg.(value & opt int 3 & info [ "trials" ] ~doc:"Trials per fault plan.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the sweep counters as a JSON metrics report.")
+  in
+  cmd "faults"
+    "Run the resilience sweep: tester + consistency oracle under injected \
+     faults (exits 1 on any violation)"
+    Term.(
+      const (fun jobs trials children emit_json ->
+          print_faults ~jobs ~trials ~children ~emit_json)
+      $ jobs_arg $ trials_arg $ children_arg $ json_arg)
+
 let tester_cmd =
   cmd "tester" "Run the section 5.1 consistency tester once"
     Term.(
@@ -259,6 +284,7 @@ let () =
         scaling_cmd;
         pools_cmd;
         ablations_cmd;
+        faults_cmd;
         tester_cmd;
         trace_cmd;
         all_cmd;

@@ -46,6 +46,14 @@ let enqueue q action =
     q.count <- q.count + 1
   end
 
+(* Fault injection: behave exactly as if the queue had just filled up —
+   items discarded, overflow latched — regardless of the actual count.
+   Called with the queue lock held. *)
+let force_overflow q =
+  q.overflow <- true;
+  q.items <- [];
+  q.count <- 0
+
 (* Called with the queue lock held; returns the drained work. *)
 let drain q =
   let work =

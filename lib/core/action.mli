@@ -20,6 +20,10 @@ val create_queue : cpu_id:int -> capacity:int -> queue
 val enqueue : queue -> action -> unit
 (** Queue lock held.  Overflow discards the items and latches the flag. *)
 
+val force_overflow : queue -> unit
+(** Queue lock held.  Fault injection: latch overflow (discarding items)
+    as if the queue had just filled, forcing the full-flush path. *)
+
 val drain : queue -> [ `Actions of action list | `Flush_everything ]
 (** Queue lock held; returns the work oldest-first and resets the queue. *)
 

@@ -38,7 +38,14 @@ type ctx = {
   (* --- shootdown state (paper Figure 1) --- *)
   active : bool array; (* processors actively translating *)
   action_needed : bool array;
+  draining : bool array;
+      (* set while a responder is performing its queued invalidations:
+         action_needed is already cleared but the TLB is not yet clean.
+         The consistency oracle must treat such CPUs as still covered. *)
   queues : Action.queue array;
+  mutable oracle_check : (string -> unit) option;
+      (* installed by Consistency_oracle.attach; called at
+         shootdown-completion and quiescent points *)
   kernel_pmap : t;
   current_user : t option array; (* user pmap loaded on each processor *)
   pv : t Pv_list.t;
@@ -52,6 +59,9 @@ type ctx = {
   mutable shootdowns_initiated : int;
   mutable shootdowns_skipped_lazy : int;
   mutable ipis_sent : int;
+  mutable watchdog_retries : int; (* barrier timeouts answered by re-IPI *)
+  mutable watchdog_escalations : int; (* responders abandoned at the barrier *)
+  mutable watchdog_recoveries : int; (* responders acked after >=1 retry *)
   mutable shootdown_initiator_time : float; (* accumulated, all initiators *)
   mutable shootdown_responder_time : float; (* accumulated, all responders *)
 }
@@ -88,6 +98,8 @@ let create_ctx ~eng ~bus ~cpus ~mmus ~mem ~params ~xpr =
       trace = None;
       active = Array.make n false;
       action_needed = Array.make n false;
+      draining = Array.make n false;
+      oracle_check = None;
       queues =
         Array.init n (fun cpu_id ->
             Action.create_queue ~cpu_id ~capacity:params.action_queue_size);
@@ -100,6 +112,9 @@ let create_ctx ~eng ~bus ~cpus ~mmus ~mem ~params ~xpr =
       shootdowns_initiated = 0;
       shootdowns_skipped_lazy = 0;
       ipis_sent = 0;
+      watchdog_retries = 0;
+      watchdog_escalations = 0;
+      watchdog_recoveries = 0;
       shootdown_initiator_time = 0.0;
       shootdown_responder_time = 0.0;
     }

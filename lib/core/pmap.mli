@@ -30,7 +30,14 @@ type ctx = {
       (** structured span stream; [None] (and cost-free) unless attached *)
   active : bool array;  (** processors actively translating *)
   action_needed : bool array;
+  draining : bool array;
+      (** set while a responder performs its queued invalidations
+          (action_needed already cleared, TLB not yet clean); the
+          consistency oracle treats such CPUs as still covered *)
   queues : Action.queue array;
+  mutable oracle_check : (string -> unit) option;
+      (** installed by {!Consistency_oracle.attach}; invoked at
+          shootdown-completion and quiescent points with a reason label *)
   kernel_pmap : t;
   current_user : t option array;  (** user pmap loaded per processor *)
   pv : t Pv_list.t;
@@ -42,6 +49,12 @@ type ctx = {
   mutable shootdowns_initiated : int;
   mutable shootdowns_skipped_lazy : int;
   mutable ipis_sent : int;
+  mutable watchdog_retries : int;
+      (** ack-barrier timeouts answered by a re-interrupt *)
+  mutable watchdog_escalations : int;
+      (** responders abandoned at the barrier after exhausting retries *)
+  mutable watchdog_recoveries : int;
+      (** responders that acked after at least one retry *)
   mutable shootdown_initiator_time : float;
   mutable shootdown_responder_time : float;
 }

@@ -22,6 +22,8 @@ let c_queue_action = 11 (* arg2 = target cpu *)
 let c_ipi_sent = 12 (* arg2 = target cpu *)
 let c_barrier_done = 13
 let c_update_done = 14
+let c_watchdog_retry = 15 (* arg2 = target cpu *)
+let c_watchdog_escalate = 16 (* arg2 = abandoned cpu *)
 let c_resp_enter = 20
 let c_resp_ack = 21
 let c_resp_drain = 22
@@ -39,6 +41,8 @@ let span_name = function
   | 12 -> "initiator.ipi"
   | 13 -> "initiator.barrier-done"
   | 14 -> "initiator.update-done"
+  | 15 -> "initiator.watchdog-retry"
+  | 16 -> "initiator.watchdog-escalate"
   | 20 -> "responder.enter"
   | 21 -> "responder.ack"
   | 22 -> "responder.drain"
@@ -62,7 +66,10 @@ let record ctx ~code ~cpu ?(arg2 = 0) () =
             ("queue_depth", Trace.Int q.Action.count);
             ("overflow", Trace.Bool q.Action.overflow);
           ]
-        else if code = c_ipi_sent then [ ("target", Trace.Int arg2) ]
+        else if
+          code = c_ipi_sent || code = c_watchdog_retry
+          || code = c_watchdog_escalate
+        then [ ("target", Trace.Int arg2) ]
         else []
       in
       Trace.emit tr ~name:(span_name code) ~cpu
@@ -87,6 +94,8 @@ let label_of = function
   | 12 -> "initiator: send IPI to cpu%d"
   | 13 -> "initiator: all acknowledgements in - updating pmap"
   | 14 -> "initiator: update done, pmap unlocked"
+  | 15 -> "initiator: watchdog timeout - re-interrupting cpu%d"
+  | 16 -> "initiator: retries exhausted - abandoning cpu%d (escalate)"
   | 20 -> "responder: interrupt dispatched"
   | 21 -> "responder: acknowledged (left active set), spinning on lock"
   | 22 -> "responder: lock released - draining action queue"
@@ -112,7 +121,11 @@ let render xpr =
           let code = match e.Xpr.code with Xpr.Custom n -> n | _ -> 0 in
           let label = label_of code in
           let label =
-            if code = c_queue_action || code = c_ipi_sent then
+            if
+              code = c_queue_action || code = c_ipi_sent
+              || code = c_watchdog_retry
+              || code = c_watchdog_escalate
+            then
               Printf.sprintf
                 (Scanf.format_from_string label "%d")
                 e.Xpr.arg2

@@ -78,22 +78,31 @@ let process_queued_actions ctx (cpu : Sim.Cpu.t) =
   let q = ctx.Pmap.queues.(id) in
   let saved = Sim.Spinlock.acquire q.Action.lock cpu in
   let work = Action.drain q in
+  (* action_needed is cleared before the invalidations are performed:
+     [draining] keeps the consistency oracle treating this CPU as covered
+     until the TLB really is clean. *)
+  ctx.Pmap.draining.(id) <- true;
   ctx.Pmap.action_needed.(id) <- false;
   Sim.Spinlock.release q.Action.lock cpu ~saved_ipl:saved;
-  match work with
-  | `Flush_everything ->
-      (* queue overflowed: the whole TLB goes, whatever was queued *)
-      Shoot_trace.record_tlb ctx ~cpu:id ~space:(-1) ~pages:0 ~flush:true;
-      Tlb.flush_all (Mmu.tlb ctx.Pmap.mmus.(id));
-      Sim.Cpu.raw_delay cpu ctx.Pmap.params.tlb_flush_cost;
-      true
-  | `Actions actions ->
-      List.iter (perform_action ctx cpu) actions;
-      List.exists
-        (function
-          | Action.Invalidate_range { space; _ } | Action.Flush_space space ->
-              space = 0)
-        actions
+  let touched_kernel =
+    match work with
+    | `Flush_everything ->
+        (* queue overflowed: the whole TLB goes, whatever was queued *)
+        Shoot_trace.record_tlb ctx ~cpu:id ~space:(-1) ~pages:0 ~flush:true;
+        Tlb.flush_all (Mmu.tlb ctx.Pmap.mmus.(id));
+        Sim.Cpu.raw_delay cpu ctx.Pmap.params.tlb_flush_cost;
+        true
+    | `Actions actions ->
+        List.iter (perform_action ctx cpu) actions;
+        List.exists
+          (function
+            | Action.Invalidate_range { space; _ } | Action.Flush_space space
+              ->
+                space = 0)
+          actions
+  in
+  ctx.Pmap.draining.(id) <- false;
+  touched_kernel
 
 (* ------------------------------------------------------------------ *)
 (* Responders (phases 2 and 4). *)
@@ -240,8 +249,38 @@ let send_ipis ctx (cpu : Sim.Cpu.t) targets =
           ctx.Pmap.cpus
       end
 
+(* Watchdog escalation: the initiator gives up waiting on one responder.
+   Instead of the paper's silent infinite spin, dump a structured
+   diagnostic — who is missing, what it was last seen doing, which pmap
+   and when — and let [shoot] report the abandoned CPU upward so
+   [with_update] can force-invalidate its TLB after the update. *)
+let escalate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~(target : Sim.Cpu.t)
+    ~retries =
+  let me = Sim.Cpu.id cpu in
+  let oid = Sim.Cpu.id target in
+  ctx.Pmap.watchdog_escalations <- ctx.Pmap.watchdog_escalations + 1;
+  Shoot_trace.record ctx ~code:Shoot_trace.c_watchdog_escalate ~cpu:me
+    ~arg2:oid ();
+  match ctx.Pmap.trace with
+  | None -> ()
+  | Some tr ->
+      Instrument.Trace.emit tr ~name:"watchdog.escalation" ~cpu:me
+        ~at:(Sim.Cpu.now cpu)
+        ~attrs:
+          [
+            ("missing", Instrument.Trace.Int oid);
+            ("pmap", Instrument.Trace.Str pmap.Pmap.pname);
+            ("retries", Instrument.Trace.Int retries);
+            ("missing_phase", Instrument.Trace.Str ctx.Pmap.shoot_phase.(oid));
+            ("missing_note", Instrument.Trace.Str target.Sim.Cpu.note);
+          ]
+        ()
+
 (* The Mach shootdown initiator proper (phases 1-3). Caller holds the pmap
-   lock and has decided an inconsistency is possible. *)
+   lock and has decided an inconsistency is possible.  Returns the ids of
+   responders abandoned by the watchdog (empty in any healthy run): their
+   TLBs must be force-invalidated after the update, before the caller
+   releases the pmap lock. *)
 let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi ~pages ~started =
   let params = ctx.Pmap.params in
   let me = Sim.Cpu.id cpu in
@@ -251,6 +290,7 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi ~pages ~started =
     invalidate_local ctx cpu ~space:pmap.Pmap.space_id ~lo ~hi;
   Shoot_trace.record ctx ~code:Shoot_trace.c_initiator_start ~cpu:me ();
   let shot_at = ref 0 in
+  let abandoned = ref [] in
   if Pmap.other_users ctx pmap ~me then begin
     (* Phase 1: queue actions for every user of the pmap; interrupt the
        non-idle ones (idle processors get actions but no interrupt). *)
@@ -261,6 +301,11 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi ~pages ~started =
         if oid <> me && pmap.Pmap.in_use.(oid) then begin
           let q = ctx.Pmap.queues.(oid) in
           let saved = Sim.Spinlock.acquire q.Action.lock cpu in
+          (* Injected overflow: pretend the queue just filled, forcing the
+             responder down the flush-everything path. *)
+          (match cpu.Sim.Cpu.fault with
+          | Some f when Sim.Fault.forced_overflow f -> Action.force_overflow q
+          | _ -> ());
           Action.enqueue q
             (Action.Invalidate_range { space = pmap.Pmap.space_id; lo; hi });
           ctx.Pmap.action_needed.(oid) <- true;
@@ -292,13 +337,50 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi ~pages ~started =
       else fun oid ->
         (not ctx.Pmap.action_needed.(oid)) || not pmap.Pmap.in_use.(oid)
     in
+    let timeout = params.shoot_watchdog_timeout in
     List.iter
       (fun (other : Sim.Cpu.t) ->
         let oid = Sim.Cpu.id other in
         cpu.Sim.Cpu.note <- Printf.sprintf "await-ack:%d" oid;
-        while not (acked oid) do
-          Sim.Cpu.spin_poll_masked cpu
-        done)
+        if timeout <= 0.0 then
+          (* watchdog disabled: the paper's original unbounded spin *)
+          while not (acked oid) do
+            Sim.Cpu.spin_poll_masked cpu
+          done
+        else begin
+          (* Watchdog: the identical spin loop, except that sim time is
+             compared against a deadline after each poll (no extra cost,
+             no PRNG draws).  A timeout re-sends the IPI — the original
+             may have been lost — and the deadline rearms; after
+             [shoot_watchdog_retries] re-sends the responder is abandoned
+             and reported to the caller for forced invalidation. *)
+          let deadline = ref (Sim.Cpu.now cpu +. timeout) in
+          let retries = ref 0 in
+          let waiting = ref true in
+          while !waiting && not (acked oid) do
+            Sim.Cpu.spin_poll_masked cpu;
+            if (not (acked oid)) && Sim.Cpu.now cpu >= !deadline then
+              if !retries < params.shoot_watchdog_retries then begin
+                incr retries;
+                ctx.Pmap.watchdog_retries <- ctx.Pmap.watchdog_retries + 1;
+                Shoot_trace.record ctx ~code:Shoot_trace.c_watchdog_retry
+                  ~cpu:me ~arg2:oid ();
+                Sim.Cpu.raw_delay cpu params.ipi_send_cost;
+                Sim.Bus.access ctx.Pmap.bus ();
+                ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + 1;
+                Sim.Engine.after ctx.Pmap.eng params.ipi_latency (fun () ->
+                    Sim.Cpu.post other Sim.Interrupt.Shootdown);
+                deadline := Sim.Cpu.now cpu +. timeout
+              end
+              else begin
+                escalate ctx cpu pmap ~target:other ~retries:!retries;
+                abandoned := oid :: !abandoned;
+                waiting := false
+              end
+          done;
+          if !waiting && !retries > 0 then
+            ctx.Pmap.watchdog_recoveries <- ctx.Pmap.watchdog_recoveries + 1
+        end)
       shoot_list;
     Shoot_trace.record ctx ~code:Shoot_trace.c_barrier_done ~cpu:me ()
   end;
@@ -312,7 +394,8 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi ~pages ~started =
       ~timestamp:(Sim.Cpu.now cpu)
       ~arg1:(if pmap.Pmap.is_kernel then 1 else 0)
       ~arg2:pages ~arg3:!shot_at ~farg:elapsed ()
-  end
+  end;
+  List.rev !abandoned
 
 (* MC88200-style hardware remote invalidation (section 9): the initiator
    shoots entries directly out of remote TLBs; no interrupts, no barrier.
@@ -335,6 +418,33 @@ let hw_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi =
       end)
     ctx.Pmap.cpus
 
+(* Recovery for abandoned responders: with the pmap already updated (and
+   still locked), shoot the affected range out of each abandoned CPU's TLB
+   directly, Hw_remote-style.  Safe at this point for the same reason
+   Hw_remote is safe after the update: a hardware reload racing us reads
+   the already-final PTE, and any stale cached entry is destroyed before
+   the pmap lock is released.  Doing this *before* the update would be
+   unsound — the un-acknowledged CPU could re-cache the old mapping. *)
+let force_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
+    targets =
+  let params = ctx.Pmap.params in
+  List.iter
+    (fun oid ->
+      if pmap.Pmap.in_use.(oid) then begin
+        let tlb = Mmu.tlb ctx.Pmap.mmus.(oid) in
+        let pages = hi - lo in
+        if pages >= params.tlb_flush_threshold then
+          Tlb.flush_space tlb ~space:pmap.Pmap.space_id
+        else Tlb.invalidate_range tlb ~space:pmap.Pmap.space_id ~lo ~hi;
+        Shoot_trace.record_tlb ctx ~cpu:oid ~space:pmap.Pmap.space_id ~pages
+          ~flush:(pages >= params.tlb_flush_threshold);
+        let n = min pages params.tlb_flush_threshold in
+        Sim.Cpu.raw_delay cpu
+          (params.tlb_entry_invalidate_cost *. float_of_int n);
+        Sim.Bus.access ctx.Pmap.bus ~n ()
+      end)
+    targets
+
 (* ------------------------------------------------------------------ *)
 (* The initiator entry point used by every pmap operation.
 
@@ -345,6 +455,13 @@ let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
     ~may_be_inconsistent ~update =
   let params = ctx.Pmap.params in
   let me = Sim.Cpu.id cpu in
+  (* Completion hook for the consistency oracle (cost-free when absent).
+     Called after the protocol finishes, in every policy branch — which is
+     exactly how the oracle proves Shootdown right and No_consistency
+     wrong. *)
+  let check_oracle reason =
+    match ctx.Pmap.oracle_check with Some f -> f reason | None -> ()
+  in
   match params.consistency with
   | Sim.Params.No_consistency | Sim.Params.Deferred_free _ ->
       (* Local invalidation only; remote TLBs are left inconsistent.  For
@@ -355,7 +472,8 @@ let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
       if may_be_inconsistent () && pmap.Pmap.in_use.(me) then
         invalidate_local ctx cpu ~space:pmap.Pmap.space_id ~lo ~hi;
       update ();
-      Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved
+      Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
+      check_oracle "update-complete"
   | Sim.Params.Timer_flush period ->
       let saved = Sim.Spinlock.acquire pmap.Pmap.lock cpu in
       let inconsistent = may_be_inconsistent () in
@@ -365,9 +483,12 @@ let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
       Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
       (* Technique 2 (section 3): every CPU flushes its TLB on a periodic
          timer; the changed mapping may not be relied upon until a full
-         period has elapsed.  The cost is this delay. *)
+         period has elapsed.  The cost is this delay.  (The oracle is
+         checked only after the wait: mid-window staleness is the policy's
+         documented semantics, not a bug.) *)
       if inconsistent && Pmap.other_users ctx pmap ~me then
-        Sim.Cpu.step cpu period
+        Sim.Cpu.step cpu period;
+      check_oracle "update-complete"
   | Sim.Params.Hw_remote ->
       (* Section 9: change the page tables first, then shoot the entries
          out of every TLB.  A hardware reload racing the update reads the
@@ -379,7 +500,8 @@ let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
       let inconsistent = may_be_inconsistent () in
       update ();
       if inconsistent then hw_remote_invalidate ctx cpu pmap ~lo ~hi;
-      Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved
+      Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
+      check_oracle "update-complete"
   | Sim.Params.Shootdown ->
       (* Figure 1: disable interrupts and leave the active set first, so a
          concurrent initiator shooting at us cannot deadlock with our wait
@@ -396,17 +518,32 @@ let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
       let started = Sim.Cpu.now cpu in
       Sim.Cpu.raw_delay cpu params.shoot_entry_cost;
       let inconsistent = may_be_inconsistent () in
-      if inconsistent then begin
-        ctx.Pmap.shoot_phase.(me) <- "shooting:" ^ pmap.Pmap.pname;
-        shoot ctx cpu pmap ~lo ~hi ~pages:(hi - lo) ~started
-      end
-      else ctx.Pmap.shootdowns_skipped_lazy <- ctx.Pmap.shootdowns_skipped_lazy + 1;
+      let abandoned =
+        if inconsistent then begin
+          ctx.Pmap.shoot_phase.(me) <- "shooting:" ^ pmap.Pmap.pname;
+          shoot ctx cpu pmap ~lo ~hi ~pages:(hi - lo) ~started
+        end
+        else begin
+          ctx.Pmap.shootdowns_skipped_lazy <-
+            ctx.Pmap.shootdowns_skipped_lazy + 1;
+          []
+        end
+      in
       (* Phase 3: the pmap change itself. *)
       ctx.Pmap.shoot_phase.(me) <- "updating:" ^ pmap.Pmap.pname;
       update ();
+      (* Recovery: responders the watchdog abandoned never acknowledged,
+         so their TLBs may still hold the old mapping — destroy it
+         directly while the pmap lock still serializes against reloads
+         through a half-changed table. *)
+      if abandoned <> [] then begin
+        ctx.Pmap.shoot_phase.(me) <- "force-invalidate:" ^ pmap.Pmap.pname;
+        force_remote_invalidate ctx cpu pmap ~lo ~hi abandoned
+      end;
       Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
       if inconsistent then
         Shoot_trace.record ctx ~code:Shoot_trace.c_update_done ~cpu:me ();
       ctx.Pmap.shoot_phase.(me) <- "done";
       ctx.Pmap.active.(me) <- was_active;
-      Sim.Cpu.restore_ipl cpu s
+      Sim.Cpu.restore_ipl cpu s;
+      check_oracle "shootdown-complete"

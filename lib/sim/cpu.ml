@@ -20,6 +20,7 @@ type t = {
   mutable in_interrupt : bool;
   mutable shootdown_handler : t -> unit;
   mutable device_handler : t -> unit;
+  fault : Fault.t option; (* per-CPU fault injector; None = healthy *)
   (* accounting *)
   mutable busy_time : float;
   mutable interrupts_taken : int;
@@ -67,6 +68,15 @@ let rec check_interrupts t =
         let was_in_interrupt = t.in_interrupt in
         t.in_interrupt <- true;
         t.interrupts_taken <- t.interrupts_taken + 1;
+        (* Injected responder stall: the interrupt was taken but the CPU
+           sits in an overlong masked section before servicing it — the
+           section 6 worry about device-level interrupt disablement. *)
+        (match (t.fault, p.kind) with
+        | Some f, Interrupt.Shootdown -> (
+            match Fault.responder_stall f with
+            | Some stall -> raw_delay t stall
+            | None -> ())
+        | _ -> ());
         (* Vectoring plus register save; the save is a burst of writes
            through the write-through cache onto the bus. *)
         raw_delay t t.params.intr_dispatch_cost;
@@ -111,6 +121,9 @@ let create eng bus (params : Params.t) ~id =
     in_interrupt = false;
     shootdown_handler = (fun _ -> ());
     device_handler = default_device_handler;
+    fault =
+      Fault.injector params.faults
+        ~seed:(Int64.logxor params.seed (Int64.of_int (0xFA017 * (id + 1))));
     busy_time = 0.0;
     interrupts_taken = 0;
     spin_time = 0.0;
@@ -121,13 +134,27 @@ let create eng bus (params : Params.t) ~id =
 (* Post an interrupt to this CPU (from any coroutine).  If the CPU is in an
    interruptible sleep and the interrupt is deliverable, cut the sleep
    short so it is noticed immediately. *)
-let post t kind =
+let really_post t kind =
   let level = Interrupt.level_of t.params kind in
   Interrupt.post t.ctl { kind; level };
   if level > t.ipl then
     match t.sleeper with
     | Some w -> Engine.wake t.eng w
     | None -> ()
+
+(* The fault injector intercepts shootdown IPIs on the *target* side of
+   the wire: the initiator has already paid the send cost and bus access,
+   but the interrupt may be lost or arrive late. *)
+let post t kind =
+  match (t.fault, kind) with
+  | Some f, Interrupt.Shootdown -> (
+      match Fault.ipi_fate f with
+      | Fault.Deliver -> really_post t kind
+      | Fault.Drop -> ()
+      | Fault.Delay extra ->
+          Engine.after ~label:"fault-ipi-delay" t.eng extra (fun () ->
+              really_post t kind))
+  | _ -> really_post t kind
 
 let pending_interrupt t kind = Interrupt.has_pending t.ctl kind
 

@@ -23,6 +23,8 @@ type t = {
   mutable in_interrupt : bool;
   mutable shootdown_handler : t -> unit;
   mutable device_handler : t -> unit;
+  fault : Fault.t option;
+      (** per-CPU fault injector ([None] when [Params.faults] is zero) *)
   mutable busy_time : float;
   mutable interrupts_taken : int;
   mutable spin_time : float;

@@ -13,7 +13,32 @@
    the per-event [step] does a direct field increment instead of a
    string-keyed hashtable lookup. *)
 
-exception Runaway of string
+(* Diagnostic payload for a blown event budget: when it happened, how much
+   work was done, and what was still scheduled — the pending-kind summary
+   usually names the spinning site directly (e.g. 100k "spin" events). *)
+type runaway = {
+  runaway_at : float; (* sim time when the budget tripped *)
+  runaway_events : int; (* events executed so far *)
+  runaway_pending : (string * int) list;
+      (* pending events by schedule label, most frequent first *)
+}
+
+exception Runaway of runaway
+
+let () =
+  Printexc.register_printer (function
+    | Runaway r ->
+        let pending =
+          String.concat ", "
+            (List.map
+               (fun (label, n) -> Printf.sprintf "%s:%d" label n)
+               r.runaway_pending)
+        in
+        Some
+          (Printf.sprintf
+             "Engine.Runaway: %d events executed at t=%.1f (pending: %s)"
+             r.runaway_events r.runaway_at pending)
+    | _ -> None)
 
 type wakener = {
   mutable fired : bool;
@@ -148,11 +173,31 @@ let step t =
     Instrument.Metrics.inc counter;
     t.now <- time;
     t.events <- t.events + 1;
-    if t.events > t.max_events then
+    if t.events > t.max_events then begin
+      (* Summarise what is still scheduled, by label, most frequent first:
+         the stuck site usually dominates the histogram.  The event just
+         popped has not executed, so it counts as pending too. *)
+      let tally = Hashtbl.create 16 in
+      let count (counter, _) =
+        let name = Instrument.Metrics.counter_name counter in
+        let n = try Hashtbl.find tally name with Not_found -> 0 in
+        Hashtbl.replace tally name (n + 1)
+      in
+      count (counter, thunk);
+      Heap.iter_payloads count t.heap;
+      let pending =
+        Hashtbl.fold (fun name n acc -> (name, n) :: acc) tally []
+        |> List.sort (fun (na, a) (nb, b) ->
+               if a <> b then compare b a else compare na nb)
+      in
       raise
         (Runaway
-           (Printf.sprintf "simulation exceeded %d events at t=%.1f"
-              t.max_events t.now));
+           {
+             runaway_at = t.now;
+             runaway_events = t.events;
+             runaway_pending = pending;
+           })
+    end;
     thunk ();
     true
   end

@@ -4,8 +4,18 @@
     [float] number of simulated microseconds — the unit used throughout the
     paper's evaluation. *)
 
-exception Runaway of string
-(** Raised when a run exceeds its event budget (a stuck-spin backstop). *)
+type runaway = {
+  runaway_at : float;  (** sim time when the budget tripped *)
+  runaway_events : int;  (** events executed so far *)
+  runaway_pending : (string * int) list;
+      (** pending events by schedule label, most frequent first — the
+          stuck site usually dominates this histogram *)
+}
+
+exception Runaway of runaway
+(** Raised when a run exceeds its event budget (a stuck-spin backstop).
+    Registered with [Printexc], so uncaught instances print the full
+    diagnostic. *)
 
 type t
 

@@ -121,3 +121,10 @@ let pop_payload h =
   v
 
 let peek_time h = if h.size = 0 then None else Some h.times.(0)
+
+(* Heap order, not time order — fine for the diagnostic summaries this
+   exists for (counting pending events by kind on a Runaway). *)
+let iter_payloads f h =
+  for i = 0 to h.size - 1 do
+    f h.vals.(i)
+  done

@@ -33,3 +33,8 @@ val pop_payload : 'a t -> 'a
 
 val peek_time : 'a t -> float option
 (** Timestamp of the next event, if any. *)
+
+val iter_payloads : ('a -> unit) -> 'a t -> unit
+(** Apply [f] to every pending payload, in heap (not time) order.  For
+    diagnostics — e.g. summarising what was still scheduled when a run
+    blew its event budget. *)

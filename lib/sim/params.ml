@@ -88,6 +88,13 @@ type t = {
                                inconsistency check, procedure overhead *)
   pmap_op_page_cost : float; (* pmap update work per page (PTE rewrite) *)
   consistency : consistency_policy;
+  (* --- fault injection / recovery -------------------------------------- *)
+  faults : Fault.plan; (* deterministic adversity; Fault.none disables *)
+  shoot_watchdog_timeout : float; (* us the initiator waits on one
+                                     responder's acknowledgement before a
+                                     re-interrupt retry; 0. disables the
+                                     watchdog (original infinite spin) *)
+  shoot_watchdog_retries : int; (* re-interrupts before escalating *)
   (* --- scheduling ------------------------------------------------------ *)
   ctx_switch_cost : float;
   idle_poll : float; (* idle-loop polling interval *)
@@ -143,6 +150,12 @@ let default =
     shoot_entry_cost = 385.0;
     pmap_op_page_cost = 11.0;
     consistency = Shootdown;
+    faults = Fault.none;
+    (* Generous enough that a healthy shootdown (hundreds of us even with
+       background device load) never trips it, so the watchdog changes
+       nothing about fault-free runs. *)
+    shoot_watchdog_timeout = 50_000.0;
+    shoot_watchdog_retries = 3;
     ctx_switch_cost = 150.0;
     idle_poll = 25.0;
     page_size = 4096;

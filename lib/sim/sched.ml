@@ -30,6 +30,25 @@ type thread = {
   mutable run_time : float; (* filled on exit from cpu accounting deltas *)
 }
 
+(* A scheduler invariant does not hold.  Carries enough context to debug
+   a fault-injection run: which CPU (-1 when the thread holds none — that
+   being the broken invariant), which thread, and when.  [now] is nan
+   where no engine handle is in scope (current_cpu). *)
+exception
+  Broken_invariant of { what : string; cpu : int; tid : int; now : float }
+
+let () =
+  Printexc.register_printer (function
+    | Broken_invariant { what; cpu; tid; now } ->
+        Some
+          (Printf.sprintf
+             "Sched.Broken_invariant: %s (cpu=%d tid=%d t=%.1f)" what cpu tid
+             now)
+    | _ -> None)
+
+let broken ?(cpu = -1) ?(now = Float.nan) ~tid what =
+  raise (Broken_invariant { what; cpu; tid; now })
+
 type t = {
   eng : Engine.t;
   cpus : Cpu.t array;
@@ -146,7 +165,9 @@ let idle_loop t (cpu : Cpu.t) () =
         let parked =
           match th.parked with
           | Some w -> w
-          | None -> failwith "Sched: dispatching a thread that never parked"
+          | None ->
+              broken ~cpu:(Cpu.id cpu) ~now:(Engine.now t.eng) ~tid:th.tid
+                "dispatching a thread that never parked"
         in
         Engine.suspend (fun w ->
             t.return_wakeners.(Cpu.id cpu) <- Some w;
@@ -175,7 +196,9 @@ let relinquish t th ~requeue =
   let cpu =
     match th.cpu with
     | Some c -> c
-    | None -> failwith "Sched.relinquish: thread has no CPU"
+    | None ->
+        broken ~now:(Engine.now t.eng) ~tid:th.tid
+          "relinquish: thread has no CPU"
   in
   t.deactivate th cpu;
   Engine.suspend (fun w ->
@@ -195,14 +218,16 @@ let yield t th =
   match th.cpu with
   | Some cpu when has_ready t cpu -> relinquish t th ~requeue:true
   | Some _ -> ()
-  | None -> failwith "Sched.yield: thread has no CPU"
+  | None ->
+      broken ~now:(Engine.now t.eng) ~tid:th.tid "yield: thread has no CPU"
 
 (* Block for [dt] simulated microseconds (I/O waits, pager latency). *)
 let sleep t th dt =
   let cpu =
     match th.cpu with
     | Some c -> c
-    | None -> failwith "Sched.sleep: thread has no CPU"
+    | None ->
+        broken ~now:(Engine.now t.eng) ~tid:th.tid "sleep: thread has no CPU"
   in
   t.deactivate th cpu;
   Engine.suspend (fun w ->
@@ -221,7 +246,8 @@ let finish t th =
   let cpu =
     match th.cpu with
     | Some c -> c
-    | None -> failwith "Sched.finish: thread has no CPU"
+    | None ->
+        broken ~now:(Engine.now t.eng) ~tid:th.tid "finish: thread has no CPU"
   in
   t.deactivate th cpu;
   th.state <- Finished;
@@ -269,4 +295,4 @@ let join t self target =
 let current_cpu th =
   match th.cpu with
   | Some c -> c
-  | None -> failwith "Sched.current_cpu: thread not running"
+  | None -> broken ~tid:th.tid "current_cpu: thread not running"

@@ -15,6 +15,13 @@ type user_data += No_data
 
 type state = Created | Ready | Running | Blocked | Finished
 
+exception
+  Broken_invariant of { what : string; cpu : int; tid : int; now : float }
+(** A scheduler invariant does not hold (e.g. an operation on a thread
+    that holds no CPU).  [cpu] is [-1] and [now] is [nan] where that
+    context does not exist at the raise site.  Registered with
+    [Printexc], so fault-run backtraces print the full context. *)
+
 type thread = {
   tid : int;
   tname : string;
@@ -65,8 +72,8 @@ val create_thread :
 
 val current_cpu : thread -> Cpu.t
 (** The CPU the thread is running on.
-    @raise Failure if the thread is not running.  Do not cache the result
-    across a blocking call — the thread may migrate. *)
+    @raise Broken_invariant if the thread is not running.  Do not cache
+    the result across a blocking call — the thread may migrate. *)
 
 val block : t -> thread -> unit
 (** Park the calling thread until {!wakeup}; the CPU goes back to its

@@ -2,6 +2,7 @@
 
 module Heap = Heap
 module Prng = Prng
+module Fault = Fault
 module Params = Params
 module Engine = Engine
 module Bus = Bus

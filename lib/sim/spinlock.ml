@@ -49,6 +49,15 @@ let acquire t (cpu : Cpu.t) =
   (* Cost of the interlocked test-and-set that succeeded. *)
   Cpu.raw_delay cpu (Cpu.params cpu).Params.lock_cost;
   Bus.access cpu.Cpu.bus ();
+  (* Injected lock-holder preemption: the holder keeps the lock but stops
+     making progress, stretching the critical section while every
+     contender spins at raised IPL. *)
+  (match cpu.Cpu.fault with
+  | Some f -> (
+      match Fault.lock_preemption f with
+      | Some d -> Cpu.raw_delay cpu d
+      | None -> ())
+  | None -> ());
   saved
 
 let release t (cpu : Cpu.t) ~saved_ipl =

@@ -184,7 +184,13 @@ let run ?bound t body =
   Sim.Sched.stop t.sched;
   (* Wake the daemons so they can observe shutdown and exit. *)
   Sim.Sync.broadcast t.sched t.vms.Vmstate.pageout_cv;
-  Sim.Engine.run t.eng
+  Sim.Engine.run t.eng;
+  (* Quiescent point: nothing is running, every queue has drained — the
+     consistency oracle (when attached) must find every TLB in agreement
+     with the page tables. *)
+  match t.ctx.Pmap.oracle_check with
+  | Some check -> check "quiescent"
+  | None -> ()
 
 let now t = Sim.Engine.now t.eng
 

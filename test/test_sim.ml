@@ -80,11 +80,19 @@ let test_run_until () =
 
 let test_runaway () =
   let eng = Sim.Engine.create ~max_events:100 () in
-  let rec tick () = Sim.Engine.after eng 1.0 tick in
+  let rec tick () = Sim.Engine.after ~label:"stuck-tick" eng 1.0 tick in
   Sim.Engine.at eng 0.0 tick;
   match Sim.Engine.run eng with
   | () -> Alcotest.fail "expected Runaway"
-  | exception Sim.Engine.Runaway _ -> ()
+  | exception Sim.Engine.Runaway r ->
+      (* the diagnostic names the spinning site *)
+      Alcotest.(check int) "events executed" 101 r.Sim.Engine.runaway_events;
+      check_float "tripped at sim time" ~eps:1e-9 100.0
+        r.Sim.Engine.runaway_at;
+      Alcotest.(check (list (pair string int)))
+        "pending histogram names the stuck label"
+        [ ("stuck-tick", 1) ]
+        r.Sim.Engine.runaway_pending
 
 let test_determinism () =
   let run () =
@@ -175,6 +183,67 @@ let test_bus_idle_no_queue () =
       t1 := Sim.Engine.now eng);
   Sim.Engine.run eng;
   check_float "no residual queueing" ~eps:1e-9 102.0 !t1
+
+(* ------------------------------------------------------------------ *)
+(* Interrupt controller edge cases (pure bookkeeping, no engine) *)
+
+let shoot_pending p =
+  { Sim.Interrupt.kind = Sim.Interrupt.Shootdown; level = p }
+
+let dev_pending p = { Sim.Interrupt.kind = Sim.Interrupt.Device; level = p }
+
+let test_deliverable_strictly_above_ipl () =
+  (* an interrupt at exactly the current IPL is masked: delivery needs
+     [level > ipl], not [>=] *)
+  let c = Sim.Interrupt.make_controller () in
+  Sim.Interrupt.post c (shoot_pending Sim.Interrupt.ipl_soft);
+  (match Sim.Interrupt.deliverable c ~ipl:Sim.Interrupt.ipl_soft with
+  | None -> ()
+  | Some _ -> Alcotest.fail "delivered at its own level");
+  (match Sim.Interrupt.deliverable c ~ipl:Sim.Interrupt.ipl_none with
+  | Some p ->
+      Alcotest.(check bool)
+        "same pending comes back" true
+        (p.Sim.Interrupt.kind = Sim.Interrupt.Shootdown)
+  | None -> Alcotest.fail "masked below its level")
+
+let test_post_coalesces_per_kind () =
+  (* at most one pending entry per kind, like a real interrupt line:
+     re-posting while pending is absorbed *)
+  let c = Sim.Interrupt.make_controller () in
+  for _ = 1 to 3 do
+    Sim.Interrupt.post c (shoot_pending Sim.Interrupt.ipl_soft)
+  done;
+  match Sim.Interrupt.deliverable c ~ipl:Sim.Interrupt.ipl_none with
+  | None -> Alcotest.fail "nothing pending after post"
+  | Some p -> (
+      Sim.Interrupt.take c p;
+      Alcotest.(check bool)
+        "pending cleared" false
+        (Sim.Interrupt.has_pending c Sim.Interrupt.Shootdown);
+      match Sim.Interrupt.deliverable c ~ipl:Sim.Interrupt.ipl_none with
+      | None -> ()
+      | Some _ -> Alcotest.fail "triple post left extra pending entries")
+
+let test_take_clears_only_taken_kind () =
+  let c = Sim.Interrupt.make_controller () in
+  Sim.Interrupt.post c (shoot_pending Sim.Interrupt.ipl_soft);
+  Sim.Interrupt.post c (dev_pending Sim.Interrupt.ipl_device);
+  (* the device interrupt wins on priority *)
+  (match Sim.Interrupt.deliverable c ~ipl:Sim.Interrupt.ipl_none with
+  | Some p when p.Sim.Interrupt.kind = Sim.Interrupt.Device ->
+      Sim.Interrupt.take c p
+  | Some _ -> Alcotest.fail "lower-priority shootdown delivered first"
+  | None -> Alcotest.fail "nothing deliverable");
+  Alcotest.(check bool)
+    "device cleared" false
+    (Sim.Interrupt.has_pending c Sim.Interrupt.Device);
+  Alcotest.(check bool)
+    "shootdown survives the take" true
+    (Sim.Interrupt.has_pending c Sim.Interrupt.Shootdown);
+  match Sim.Interrupt.deliverable c ~ipl:Sim.Interrupt.ipl_none with
+  | Some p when p.Sim.Interrupt.kind = Sim.Interrupt.Shootdown -> ()
+  | Some _ | None -> Alcotest.fail "shootdown not deliverable after take"
 
 (* ------------------------------------------------------------------ *)
 (* CPU + interrupts *)
@@ -544,6 +613,15 @@ let () =
         [
           Alcotest.test_case "fcfs" `Quick test_bus_fcfs;
           Alcotest.test_case "idle no queue" `Quick test_bus_idle_no_queue;
+        ] );
+      ( "interrupt-controller",
+        [
+          Alcotest.test_case "equal level is masked" `Quick
+            test_deliverable_strictly_above_ipl;
+          Alcotest.test_case "posts coalesce per kind" `Quick
+            test_post_coalesces_per_kind;
+          Alcotest.test_case "take clears only its kind" `Quick
+            test_take_clears_only_taken_kind;
         ] );
       ( "cpu",
         [
