@@ -6,6 +6,7 @@
      tlbshoot overhead [--scale 100] [--jobs N]
      tlbshoot ablations [--runs 3] [--jobs N]
      tlbshoot faults [--trials 3] [--children 6] [--jobs N] [--json]
+     tlbshoot batch [--scale 100] [--jobs N] [--json]
      tlbshoot tester --children 4 [--no-consistency | --policy ...]
      tlbshoot trace [--workload tester] [--children 4] [--scale 10] [--json]
      tlbshoot all [--scale 100] [--jobs N]
@@ -66,6 +67,13 @@ let print_faults ~jobs ~trials ~children ~emit_json =
     print_string (Instrument.Json.to_string (Experiments.Resilience.to_json r))
   else print_string (Experiments.Resilience.render r);
   if not (Experiments.Resilience.all_green r) then exit 1
+
+let print_batch ~jobs ~scale ~emit_json =
+  let b = Experiments.Batching.run ~jobs ~scale () in
+  if emit_json then
+    print_string (Instrument.Json.to_string (Experiments.Batching.to_json b))
+  else print_string (Experiments.Batching.render b);
+  if not (Experiments.Batching.batching_helps b) then exit 1
 
 let run_tester ~children ~policy =
   let params =
@@ -229,6 +237,21 @@ let faults_cmd =
           print_faults ~jobs ~trials ~children ~emit_json)
       $ jobs_arg $ trials_arg $ children_arg $ json_arg)
 
+let batch_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the ablation counters as a JSON metrics report.")
+  in
+  cmd "batch"
+    "Run the batching ablation: gather batching x lazy evaluation over the \
+     Mach build and Parthenon, oracle attached (exits 1 unless batching \
+     reduces Mach consistency rounds with every cell green)"
+    Term.(
+      const (fun jobs scale emit_json -> print_batch ~jobs ~scale ~emit_json)
+      $ jobs_arg $ scale_arg $ json_arg)
+
 let tester_cmd =
   cmd "tester" "Run the section 5.1 consistency tester once"
     Term.(
@@ -285,6 +308,7 @@ let () =
         pools_cmd;
         ablations_cmd;
         faults_cmd;
+        batch_cmd;
         tester_cmd;
         trace_cmd;
         all_cmd;

@@ -45,6 +45,7 @@ type t = {
   mutable checks : int;
   mutable entries_checked : int;
   mutable cpus_skipped : int; (* covered by a pending/draining action *)
+  mutable batch_entries_skipped : int; (* covered by an open gather batch *)
   mutable violation_count : int;
   mutable violations : violation list; (* newest first, capped *)
 }
@@ -84,6 +85,14 @@ let check t ~reason =
       else
         List.iter
           (fun (e : Tlb.entry) ->
+            (* A page covered by an open gather batch may legally linger:
+               its PTE was already changed but the batched invalidation
+               has not flushed yet (docs/BATCHING.md).  The batch's flush
+               stops covering it the moment the protocol barrier has been
+               reached. *)
+            if Pmap.batch_covers ctx ~space:e.Tlb.space ~vpn:e.Tlb.vpn then
+              t.batch_entries_skipped <- t.batch_entries_skipped + 1
+            else
             match pmap_for ctx ~cpu_id:id ~space:e.Tlb.space with
             | None -> ()
             | Some p ->
@@ -123,6 +132,7 @@ let attach ?(max_kept = 32) ctx =
       checks = 0;
       entries_checked = 0;
       cpus_skipped = 0;
+      batch_entries_skipped = 0;
       violation_count = 0;
       violations = [];
     }
@@ -135,6 +145,7 @@ let consistent t = t.violation_count = 0
 let checks t = t.checks
 let entries_checked t = t.entries_checked
 let cpus_skipped t = t.cpus_skipped
+let batch_entries_skipped t = t.batch_entries_skipped
 let violation_count t = t.violation_count
 let violations t = List.rev t.violations
 

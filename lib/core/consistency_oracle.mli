@@ -43,6 +43,12 @@ val consistent : t -> bool
 val checks : t -> int
 val entries_checked : t -> int
 val cpus_skipped : t -> int
+
+val batch_entries_skipped : t -> int
+(** TLB entries excused because an open gather batch covers their page:
+    the PTE already changed but the batched invalidation has not flushed
+    yet. *)
+
 val violation_count : t -> int
 
 val violations : t -> violation list

@@ -24,6 +24,18 @@ type t = {
   mutable destroyed : bool;
 }
 
+(* An in-flight gather batch (mmu_gather-style, see Gather): page-table
+   entries in [b_ranges] have already been cleared or downgraded but the
+   corresponding TLB invalidations are deferred until the batch flushes.
+   Registered here so the consistency oracle can treat TLB entries covered
+   by an open batch the way it treats draining responders: legal
+   mid-protocol staleness, not a violation. *)
+type batch = {
+  b_space : int;
+  mutable b_ranges : (Addr.vpn * Addr.vpn) list;
+      (* coalesced [lo, hi) ranges awaiting invalidation, sorted *)
+}
+
 type ctx = {
   params : Sim.Params.t;
   eng : Sim.Engine.t;
@@ -54,6 +66,8 @@ type ctx = {
          treat a pool pmap it is using like the kernel pmap: the shootdown
          can target it for pmaps that are not its current user pmap. *)
   mutable next_space : int;
+  mutable open_batches : batch list;
+      (* gather batches whose deferred invalidations have not yet run *)
   (* --- statistics --- *)
   shoot_phase : string array; (* per-cpu diagnostic: initiator progress *)
   mutable shootdowns_initiated : int;
@@ -64,6 +78,12 @@ type ctx = {
   mutable watchdog_recoveries : int; (* responders acked after >=1 retry *)
   mutable shootdown_initiator_time : float; (* accumulated, all initiators *)
   mutable shootdown_responder_time : float; (* accumulated, all responders *)
+  (* --- gather batching statistics (docs/BATCHING.md) --- *)
+  mutable batches_opened : int;
+  mutable batch_ops : int; (* unmap/protect operations queued into batches *)
+  mutable batch_pages : int; (* pages those operations deferred *)
+  mutable batch_flushes : int; (* flushes that ran a consistency round *)
+  mutable batch_flushes_elided : int; (* flushes with nothing pending *)
 }
 
 let ncpus ctx = Array.length ctx.cpus
@@ -108,6 +128,7 @@ let create_ctx ~eng ~bus ~cpus ~mmus ~mem ~params ~xpr =
       pv = Pv_list.create ();
       kernel_pool_pmaps = [];
       next_space = 1;
+      open_batches = [];
       shoot_phase = Array.make n "-";
       shootdowns_initiated = 0;
       shootdowns_skipped_lazy = 0;
@@ -117,6 +138,11 @@ let create_ctx ~eng ~bus ~cpus ~mmus ~mem ~params ~xpr =
       watchdog_recoveries = 0;
       shootdown_initiator_time = 0.0;
       shootdown_responder_time = 0.0;
+      batches_opened = 0;
+      batch_ops = 0;
+      batch_pages = 0;
+      batch_flushes = 0;
+      batch_flushes_elided = 0;
     }
   in
   (* Wire the kernel space into every MMU. *)
@@ -196,6 +222,16 @@ let pmap_of_space ctx ~space ~on:(cpu_id : int) =
     match ctx.current_user.(cpu_id) with
     | Some p when p.space_id = space -> Some p
     | Some _ | None -> None
+
+(* Is [vpn] of [space] covered by an open gather batch?  Such a page may
+   legally linger in a TLB: its PTE was already cleared or downgraded but
+   the invalidation is deferred until the batch flushes. *)
+let batch_covers ctx ~space ~vpn =
+  List.exists
+    (fun b ->
+      b.b_space = space
+      && List.exists (fun (lo, hi) -> lo <= vpn && vpn < hi) b.b_ranges)
+    ctx.open_batches
 
 (* The range of virtual pages a pmap can map. *)
 let vpn_bounds pmap =

@@ -18,6 +18,17 @@ type t = {
   mutable destroyed : bool;
 }
 
+type batch = {
+  b_space : int;
+  mutable b_ranges : (Hw.Addr.vpn * Hw.Addr.vpn) list;
+      (** coalesced [lo, hi) ranges awaiting invalidation, sorted *)
+}
+(** An in-flight gather batch (mmu_gather-style — see [Gather]): the
+    page-table entries in [b_ranges] are already cleared or downgraded but
+    their TLB invalidations are deferred until the batch flushes.  The
+    consistency oracle treats entries covered by an open batch like those
+    of a draining responder: legal mid-protocol staleness. *)
+
 type ctx = {
   params : Sim.Params.t;
   eng : Sim.Engine.t;
@@ -45,6 +56,8 @@ type ctx = {
       (** section 8 pool-structured kernel: pool pmaps responders must
           also stall on while locked *)
   mutable next_space : int;
+  mutable open_batches : batch list;
+      (** gather batches whose deferred invalidations have not yet run *)
   shoot_phase : string array;  (** per-CPU diagnostic label *)
   mutable shootdowns_initiated : int;
   mutable shootdowns_skipped_lazy : int;
@@ -57,6 +70,13 @@ type ctx = {
       (** responders that acked after at least one retry *)
   mutable shootdown_initiator_time : float;
   mutable shootdown_responder_time : float;
+  mutable batches_opened : int;
+  mutable batch_ops : int;
+      (** unmap/protect operations queued into gather batches *)
+  mutable batch_pages : int;  (** pages those operations deferred *)
+  mutable batch_flushes : int;  (** flushes that ran a consistency round *)
+  mutable batch_flushes_elided : int;
+      (** batch flushes with nothing pending (no round, no cost) *)
 }
 
 val ncpus : ctx -> int
@@ -89,4 +109,9 @@ val other_users : ctx -> t -> me:int -> bool
 (** Is any processor other than [me] using this pmap? *)
 
 val pmap_of_space : ctx -> space:int -> on:int -> t option
+
+val batch_covers : ctx -> space:int -> vpn:Hw.Addr.vpn -> bool
+(** Is [vpn] of [space] covered by an open gather batch?  Such a page may
+    legally linger in a TLB until the batch flushes. *)
+
 val vpn_bounds : t -> int * int

@@ -54,3 +54,8 @@ val range_may_be_mapped :
   Pmap.ctx -> Sim.Cpu.t -> Pmap.t -> lo:Hw.Addr.vpn -> hi:Hw.Addr.vpn -> bool
 (** The lazy-evaluation check (full per-page scan when [lazy_check], the
     residual chunk-structure check otherwise); charges the scan cost. *)
+
+val charge_pages : Pmap.ctx -> Sim.Cpu.t -> int -> unit
+(** Charge the per-page page-table rewrite cost ([pmap_op_page_cost] plus
+    one bus write per page); used by [Gather] so batched operations pay
+    exactly what their unbatched equivalents pay. *)

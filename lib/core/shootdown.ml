@@ -25,12 +25,22 @@ module Xpr = Instrument.Xpr
 
 (* ------------------------------------------------------------------ *)
 (* TLB invalidation: below the threshold invalidate entries one at a
-   time, above it flush the whole buffer (omitted detail 1 of Figure 1). *)
+   time, above it flush the whole buffer (omitted detail 1 of Figure 1).
 
-let invalidate_local ctx (cpu : Sim.Cpu.t) ~space ~lo ~hi =
+   The primitives take a list of disjoint [lo, hi) ranges so that a
+   gather batch (docs/BATCHING.md) can retire all its deferred
+   invalidations in one protocol round; the flush-threshold decision is
+   made on the total page count.  A singleton list behaves exactly like
+   the historical single-range code — unbatched runs must stay
+   byte-identical to the baseline reports. *)
+
+let range_pages ranges =
+  List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 ranges
+
+let invalidate_local_ranges ctx (cpu : Sim.Cpu.t) ~space ~ranges =
   let params = ctx.Pmap.params in
   let tlb = Mmu.tlb ctx.Pmap.mmus.(Sim.Cpu.id cpu) in
-  let pages = hi - lo in
+  let pages = range_pages ranges in
   let flush = pages >= params.tlb_flush_threshold in
   Shoot_trace.record_tlb ctx ~cpu:(Sim.Cpu.id cpu) ~space ~pages ~flush;
   if flush then begin
@@ -38,10 +48,15 @@ let invalidate_local ctx (cpu : Sim.Cpu.t) ~space ~lo ~hi =
     Sim.Cpu.raw_delay cpu params.tlb_flush_cost
   end
   else begin
-    Tlb.invalidate_range tlb ~space ~lo ~hi;
+    List.iter
+      (fun (lo, hi) -> Tlb.invalidate_range tlb ~space ~lo ~hi)
+      ranges;
     Sim.Cpu.raw_delay cpu
       (params.tlb_entry_invalidate_cost *. float_of_int pages)
   end
+
+let invalidate_local ctx (cpu : Sim.Cpu.t) ~space ~lo ~hi =
+  invalidate_local_ranges ctx cpu ~space ~ranges:[ (lo, hi) ]
 
 let perform_action ctx (cpu : Sim.Cpu.t) = function
   | Action.Invalidate_range { space; lo; hi } ->
@@ -93,13 +108,38 @@ let process_queued_actions ctx (cpu : Sim.Cpu.t) =
         Sim.Cpu.raw_delay cpu ctx.Pmap.params.tlb_flush_cost;
         true
     | `Actions actions ->
-        List.iter (perform_action ctx cpu) actions;
-        List.exists
-          (function
-            | Action.Invalidate_range { space; _ } | Action.Flush_space space
-              ->
-                space = 0)
-          actions
+        let touched_kernel =
+          List.exists
+            (function
+              | Action.Invalidate_range { space; _ }
+              | Action.Flush_space space ->
+                  space = 0)
+            actions
+        in
+        let total_pages =
+          List.fold_left
+            (fun acc -> function
+              | Action.Invalidate_range { lo; hi; _ } -> acc + (hi - lo)
+              | Action.Flush_space _ -> acc)
+            0 actions
+        in
+        (* Batching-aware responder (docs/BATCHING.md): a drained burst of
+           range actions whose combined size crosses the flush threshold
+           is cheaper as one whole-buffer flush than as N range
+           invalidations.  Gated on [batch_shootdowns] so that unbatched
+           runs execute the historical per-action path unchanged. *)
+        if
+          ctx.Pmap.params.batch_shootdowns
+          && List.length actions > 1
+          && total_pages >= ctx.Pmap.params.tlb_flush_threshold
+        then begin
+          Shoot_trace.record_tlb ctx ~cpu:id ~space:(-1) ~pages:total_pages
+            ~flush:true;
+          Tlb.flush_all (Mmu.tlb ctx.Pmap.mmus.(id));
+          Sim.Cpu.raw_delay cpu ctx.Pmap.params.tlb_flush_cost
+        end
+        else List.iter (perform_action ctx cpu) actions;
+        touched_kernel
   in
   ctx.Pmap.draining.(id) <- false;
   touched_kernel
@@ -277,17 +317,21 @@ let escalate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~(target : Sim.Cpu.t)
         ()
 
 (* The Mach shootdown initiator proper (phases 1-3). Caller holds the pmap
-   lock and has decided an inconsistency is possible.  Returns the ids of
-   responders abandoned by the watchdog (empty in any healthy run): their
-   TLBs must be force-invalidated after the update, before the caller
-   releases the pmap lock. *)
-let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi ~pages ~started =
+   lock and has decided an inconsistency is possible.  Queues one range
+   action per coalesced range — a batched flush therefore needs only this
+   single round for all its deferred operations, and a large batch
+   naturally overflows the fixed-size queues into the responders'
+   flush-everything path.  Returns the ids of responders abandoned by the
+   watchdog (empty in any healthy run): their TLBs must be
+   force-invalidated after the update, before the caller releases the
+   pmap lock. *)
+let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
   let params = ctx.Pmap.params in
   let me = Sim.Cpu.id cpu in
   ctx.Pmap.shootdowns_initiated <- ctx.Pmap.shootdowns_initiated + 1;
   (* Local TLB first: the initiator's own buffer may hold the mapping. *)
   if pmap.Pmap.in_use.(me) then
-    invalidate_local ctx cpu ~space:pmap.Pmap.space_id ~lo ~hi;
+    invalidate_local_ranges ctx cpu ~space:pmap.Pmap.space_id ~ranges;
   Shoot_trace.record ctx ~code:Shoot_trace.c_initiator_start ~cpu:me ();
   let shot_at = ref 0 in
   let abandoned = ref [] in
@@ -306,12 +350,16 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi ~pages ~started =
           (match cpu.Sim.Cpu.fault with
           | Some f when Sim.Fault.forced_overflow f -> Action.force_overflow q
           | _ -> ());
-          Action.enqueue q
-            (Action.Invalidate_range { space = pmap.Pmap.space_id; lo; hi });
-          ctx.Pmap.action_needed.(oid) <- true;
-          Sim.Cpu.raw_delay cpu params.queue_action_cost;
-          (* the action record and flag are uncached remote writes *)
-          Sim.Bus.access ctx.Pmap.bus ~n:4 ();
+          List.iter
+            (fun (lo, hi) ->
+              Action.enqueue q
+                (Action.Invalidate_range
+                   { space = pmap.Pmap.space_id; lo; hi });
+              ctx.Pmap.action_needed.(oid) <- true;
+              Sim.Cpu.raw_delay cpu params.queue_action_cost;
+              (* the action record and flag are uncached remote writes *)
+              Sim.Bus.access ctx.Pmap.bus ~n:4 ())
+            ranges;
           Shoot_trace.record ctx ~code:Shoot_trace.c_queue_action ~cpu:me
             ~arg2:oid ();
           Sim.Spinlock.release q.Action.lock cpu ~saved_ipl:saved;
@@ -400,17 +448,21 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi ~pages ~started =
 (* MC88200-style hardware remote invalidation (section 9): the initiator
    shoots entries directly out of remote TLBs; no interrupts, no barrier.
    Requires an MMU whose ref/mod updates are interlocked. *)
-let hw_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi =
+let hw_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges =
   let params = ctx.Pmap.params in
   Array.iter
     (fun (other : Sim.Cpu.t) ->
       let oid = Sim.Cpu.id other in
       if pmap.Pmap.in_use.(oid) then begin
         let tlb = Mmu.tlb ctx.Pmap.mmus.(oid) in
-        let pages = hi - lo in
+        let pages = range_pages ranges in
         if pages >= params.tlb_flush_threshold then
           Tlb.flush_space tlb ~space:pmap.Pmap.space_id
-        else Tlb.invalidate_range tlb ~space:pmap.Pmap.space_id ~lo ~hi;
+        else
+          List.iter
+            (fun (lo, hi) ->
+              Tlb.invalidate_range tlb ~space:pmap.Pmap.space_id ~lo ~hi)
+            ranges;
         (* one bus invalidation transaction per page (or one for a flush) *)
         let n = min pages params.tlb_flush_threshold in
         Sim.Cpu.raw_delay cpu (params.tlb_entry_invalidate_cost *. float_of_int n);
@@ -425,17 +477,21 @@ let hw_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi =
    the already-final PTE, and any stale cached entry is destroyed before
    the pmap lock is released.  Doing this *before* the update would be
    unsound — the un-acknowledged CPU could re-cache the old mapping. *)
-let force_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
+let force_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges
     targets =
   let params = ctx.Pmap.params in
   List.iter
     (fun oid ->
       if pmap.Pmap.in_use.(oid) then begin
         let tlb = Mmu.tlb ctx.Pmap.mmus.(oid) in
-        let pages = hi - lo in
+        let pages = range_pages ranges in
         if pages >= params.tlb_flush_threshold then
           Tlb.flush_space tlb ~space:pmap.Pmap.space_id
-        else Tlb.invalidate_range tlb ~space:pmap.Pmap.space_id ~lo ~hi;
+        else
+          List.iter
+            (fun (lo, hi) ->
+              Tlb.invalidate_range tlb ~space:pmap.Pmap.space_id ~lo ~hi)
+            ranges;
         Shoot_trace.record_tlb ctx ~cpu:oid ~space:pmap.Pmap.space_id ~pages
           ~flush:(pages >= params.tlb_flush_threshold);
         let n = min pages params.tlb_flush_threshold in
@@ -450,8 +506,14 @@ let force_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
 
    [may_be_inconsistent] decides — under the pmap lock — whether the update
    can leave stale rights in any TLB (it embodies the lazy-evaluation
-   check).  [update] performs the actual page-table modification. *)
-let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
+   check).  [update] performs the actual page-table modification.
+
+   [with_update_ranges] is the general form used by [Gather.flush]: all
+   the listed ranges are retired in one protocol round.  [with_update] is
+   the historical single-range form every unbatched pmap operation uses;
+   it delegates with a singleton list, which executes the exact same
+   sequence of costs, bus accesses and trace events as it always did. *)
+let with_update_ranges ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges
     ~may_be_inconsistent ~update =
   let params = ctx.Pmap.params in
   let me = Sim.Cpu.id cpu in
@@ -470,7 +532,7 @@ let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
          System V restrictions (section 10, Thompson et al.). *)
       let saved = Sim.Spinlock.acquire pmap.Pmap.lock cpu in
       if may_be_inconsistent () && pmap.Pmap.in_use.(me) then
-        invalidate_local ctx cpu ~space:pmap.Pmap.space_id ~lo ~hi;
+        invalidate_local_ranges ctx cpu ~space:pmap.Pmap.space_id ~ranges;
       update ();
       Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
       check_oracle "update-complete"
@@ -478,7 +540,7 @@ let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
       let saved = Sim.Spinlock.acquire pmap.Pmap.lock cpu in
       let inconsistent = may_be_inconsistent () in
       if inconsistent && pmap.Pmap.in_use.(me) then
-        invalidate_local ctx cpu ~space:pmap.Pmap.space_id ~lo ~hi;
+        invalidate_local_ranges ctx cpu ~space:pmap.Pmap.space_id ~ranges;
       update ();
       Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
       (* Technique 2 (section 3): every CPU flushes its TLB on a periodic
@@ -499,7 +561,7 @@ let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
       let saved = Sim.Spinlock.acquire pmap.Pmap.lock cpu in
       let inconsistent = may_be_inconsistent () in
       update ();
-      if inconsistent then hw_remote_invalidate ctx cpu pmap ~lo ~hi;
+      if inconsistent then hw_remote_invalidate ctx cpu pmap ~ranges;
       Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
       check_oracle "update-complete"
   | Sim.Params.Shootdown ->
@@ -521,7 +583,7 @@ let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
       let abandoned =
         if inconsistent then begin
           ctx.Pmap.shoot_phase.(me) <- "shooting:" ^ pmap.Pmap.pname;
-          shoot ctx cpu pmap ~lo ~hi ~pages:(hi - lo) ~started
+          shoot ctx cpu pmap ~ranges ~pages:(range_pages ranges) ~started
         end
         else begin
           ctx.Pmap.shootdowns_skipped_lazy <-
@@ -538,7 +600,7 @@ let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
          through a half-changed table. *)
       if abandoned <> [] then begin
         ctx.Pmap.shoot_phase.(me) <- "force-invalidate:" ^ pmap.Pmap.pname;
-        force_remote_invalidate ctx cpu pmap ~lo ~hi abandoned
+        force_remote_invalidate ctx cpu pmap ~ranges abandoned
       end;
       Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
       if inconsistent then
@@ -547,3 +609,8 @@ let with_update ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi
       ctx.Pmap.active.(me) <- was_active;
       Sim.Cpu.restore_ipl cpu s;
       check_oracle "shootdown-complete"
+
+let with_update ctx cpu pmap ~lo ~hi ~may_be_inconsistent ~update =
+  with_update_ranges ctx cpu pmap
+    ~ranges:[ (lo, hi) ]
+    ~may_be_inconsistent ~update

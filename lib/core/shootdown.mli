@@ -25,6 +25,21 @@ val with_update :
     under the pmap lock and embodies the lazy-evaluation check; [update]
     performs the page-table change (phase 3). *)
 
+val with_update_ranges :
+  Pmap.ctx ->
+  Sim.Cpu.t ->
+  Pmap.t ->
+  ranges:(Hw.Addr.vpn * Hw.Addr.vpn) list ->
+  may_be_inconsistent:(unit -> bool) ->
+  update:(unit -> unit) ->
+  unit
+(** General form of {!with_update} used by [Gather.flush]: retire a list
+    of disjoint [lo, hi) ranges in a single protocol round, queueing one
+    range action per coalesced range.  The flush-threshold decision is
+    made on the total page count, and a large batch naturally overflows
+    the fixed-size action queues into the responders' flush-everything
+    path.  A singleton list is exactly {!with_update}. *)
+
 val responder : Pmap.ctx -> Sim.Cpu.t -> unit
 (** The shootdown interrupt service routine (phases 2 and 4).  Installed
     by {!install}; exposed for tests. *)

@@ -1,0 +1,206 @@
+(* Batching ablation: a Table-1-style sweep of the deferred shootdown
+   batching engine (docs/BATCHING.md).
+
+   The Mach build and Parthenon are each run four ways — lazy evaluation
+   off/on crossed with gather batching off/on — on fresh machines with
+   the TLB-consistency oracle attached.  The claim the sweep makes
+   measurable: batching reduces the number of consistency rounds (and
+   with them the IPIs) the kernel-buffer churn costs, composes with lazy
+   evaluation rather than replacing it, and stays oracle-green; and with
+   batching off the machine is byte-for-byte the historical one (the CI
+   smoke gate separately diffs that against the frozen baseline). *)
+
+module Metrics = Instrument.Metrics
+module Summary = Instrument.Summary
+module Tablefmt = Instrument.Tablefmt
+module P = Sim.Params
+
+type app = Mach | Parthenon
+
+let app_key = function Mach -> "mach" | Parthenon -> "parthenon"
+
+type variant = { app : app; lazy_on : bool; batched : bool }
+
+(* Fixed sweep order; [key] feeds JSON metric names ([a-z0-9-/] only). *)
+let variants =
+  List.concat_map
+    (fun app ->
+      List.concat_map
+        (fun lazy_on ->
+          List.map (fun batched -> { app; lazy_on; batched }) [ false; true ])
+        [ false; true ])
+    [ Mach; Parthenon ]
+
+let variant_key v =
+  Printf.sprintf "%s/lazy-%s/batch-%s" (app_key v.app)
+    (if v.lazy_on then "on" else "off")
+    (if v.batched then "on" else "off")
+
+type cell = {
+  rounds : int; (* consistency rounds actually initiated *)
+  ipis : int;
+  skipped_lazy : int;
+  batches : int; (* gather batches opened *)
+  batch_ops : int;
+  batch_flushes : int; (* flushes that ran a round *)
+  initiator_events : int;
+  initiator_total_us : float;
+  runtime_us : float;
+  oracle_green : bool;
+  oracle_batch_skips : int; (* entries excused by an open batch *)
+}
+
+let run_cell ~scale ~params v =
+  let params =
+    {
+      params with
+      P.lazy_check = v.lazy_on;
+      batch_shootdowns = v.batched;
+    }
+  in
+  let oracle = ref None in
+  let attach (m : Vm.Machine.t) =
+    oracle := Some (Core.Consistency_oracle.attach m.Vm.Machine.ctx)
+  in
+  let r =
+    match v.app with
+    | Mach ->
+        Workloads.Mach_build.run ~params ~attach ~cfg:(Apps.scaled_mach scale)
+          ()
+    | Parthenon ->
+        Workloads.Parthenon.run ~params ~attach
+          ~cfg:(Apps.scaled_parthenon scale) ()
+  in
+  let ke = Summary.elapsed_of r.Workloads.Driver.kernel_initiators in
+  let ue = Summary.elapsed_of r.Workloads.Driver.user_initiators in
+  let green, batch_skips =
+    match !oracle with
+    | Some o ->
+        ( Core.Consistency_oracle.consistent o,
+          Core.Consistency_oracle.batch_entries_skipped o )
+    | None -> (false, 0)
+  in
+  {
+    rounds = r.Workloads.Driver.shootdowns_initiated;
+    ipis = r.Workloads.Driver.ipis_sent;
+    skipped_lazy = r.Workloads.Driver.skipped_lazy;
+    batches = r.Workloads.Driver.batches_opened;
+    batch_ops = r.Workloads.Driver.batch_ops;
+    batch_flushes = r.Workloads.Driver.batch_flushes;
+    initiator_events = List.length ke + List.length ue;
+    initiator_total_us =
+      List.fold_left ( +. ) 0.0 ke +. List.fold_left ( +. ) 0.0 ue;
+    runtime_us = r.Workloads.Driver.runtime;
+    oracle_green = green;
+    oracle_batch_skips = batch_skips;
+  }
+
+type t = { rows : (variant * cell) list; scale : int }
+
+(* Every cell boots a fresh machine from [params] alone, so the eight
+   runs fan out through the domain pool (docs/PARALLELISM.md). *)
+let run ?(jobs = 1) ?(scale = 100) ?(params = Sim.Params.production) () =
+  let cells =
+    Sim.Domain_pool.map_trials ~jobs (run_cell ~scale ~params) variants
+  in
+  { rows = List.combine variants cells; scale }
+
+let cell t ~app ~lazy_on ~batched =
+  List.assoc { app; lazy_on; batched } t.rows
+
+let round_reduction ~off ~on_ =
+  if off.rounds <= 0 then 0.0
+  else 100.0 *. (1.0 -. (float_of_int on_.rounds /. float_of_int off.rounds))
+
+let all_green t = List.for_all (fun (_, c) -> c.oracle_green) t.rows
+
+(* The acceptance claim: on the Mach build (the kernel-buffer-churn
+   workload batching targets) batching must reduce the number of
+   consistency rounds in both lazy settings, with every cell green. *)
+let batching_helps t =
+  all_green t
+  && List.for_all
+       (fun lazy_on ->
+         let off = cell t ~app:Mach ~lazy_on ~batched:false in
+         let on_ = cell t ~app:Mach ~lazy_on ~batched:true in
+         on_.rounds < off.rounds)
+       [ false; true ]
+
+let render t =
+  let table =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "Batching ablation: gather batching x lazy evaluation (scale \
+            %d%%)"
+           t.scale)
+      ~headers:
+        [
+          "workload";
+          "lazy";
+          "batch";
+          "rounds";
+          "IPIs";
+          "skipped";
+          "batches";
+          "ops";
+          "flushes";
+          "initiator";
+          "oracle";
+        ]
+  in
+  List.iter
+    (fun (v, c) ->
+      Tablefmt.add_row table
+        [
+          app_key v.app;
+          (if v.lazy_on then "yes" else "no");
+          (if v.batched then "yes" else "no");
+          string_of_int c.rounds;
+          string_of_int c.ipis;
+          string_of_int c.skipped_lazy;
+          string_of_int c.batches;
+          string_of_int c.batch_ops;
+          string_of_int c.batch_flushes;
+          Tablefmt.us c.initiator_total_us;
+          (if c.oracle_green then "green" else "RED");
+        ])
+    t.rows;
+  let reduction app lazy_on =
+    round_reduction
+      ~off:(cell t ~app ~lazy_on ~batched:false)
+      ~on_:(cell t ~app ~lazy_on ~batched:true)
+  in
+  Tablefmt.render table
+  ^ Printf.sprintf
+      "\n\
+       batching cuts consistency rounds by %.0f%% (Mach, lazy on) / %.0f%% \
+       (Mach, lazy off); Parthenon %.0f%% / %.0f%%\n"
+      (reduction Mach true) (reduction Mach false)
+      (reduction Parthenon true)
+      (reduction Parthenon false)
+
+(* JSON export: its own registry — the bench smoke report's schema is
+   frozen, so batching counters must not leak into it. *)
+let to_metrics t =
+  let m = Metrics.create () in
+  List.iter
+    (fun (v, c) ->
+      let name s = Printf.sprintf "batching/%s/%s" (variant_key v) s in
+      let count s n = Metrics.inc ~by:n (Metrics.counter m (name s)) in
+      let gauge s g = Metrics.set (Metrics.gauge m (name s)) g in
+      count "rounds" c.rounds;
+      count "ipis_sent" c.ipis;
+      count "skipped_lazy" c.skipped_lazy;
+      count "batches_opened" c.batches;
+      count "batch_ops" c.batch_ops;
+      count "batch_flushes" c.batch_flushes;
+      count "initiator_events" c.initiator_events;
+      count "oracle_green" (if c.oracle_green then 1 else 0);
+      count "oracle_batch_skips" c.oracle_batch_skips;
+      gauge "initiator_total_us" c.initiator_total_us;
+      gauge "runtime_us" c.runtime_us)
+    t.rows;
+  m
+
+let to_json t = Metrics.to_json (to_metrics t)

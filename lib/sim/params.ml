@@ -87,6 +87,14 @@ type t = {
                                interrupt disable, active-set update, the
                                inconsistency check, procedure overhead *)
   pmap_op_page_cost : float; (* pmap update work per page (PTE rewrite) *)
+  batch_shootdowns : bool; (* mmu_gather-style deferral: VM callers that
+                              can accumulate several unmap/protect
+                              operations do so and flush them with one
+                              shootdown round (docs/BATCHING.md).  Off by
+                              default: zero-batch runs must stay
+                              byte-identical to the baseline reports. *)
+  batch_max_ops : int; (* auto-flush a gather after this many queued
+                          operations (bounds quarantined memory) *)
   consistency : consistency_policy;
   (* --- fault injection / recovery -------------------------------------- *)
   faults : Fault.plan; (* deterministic adversity; Fault.none disables *)
@@ -149,6 +157,8 @@ let default =
     queue_action_cost = 10.0;
     shoot_entry_cost = 385.0;
     pmap_op_page_cost = 11.0;
+    batch_shootdowns = false;
+    batch_max_ops = 16;
     consistency = Shootdown;
     faults = Fault.none;
     (* Generous enough that a healthy shootdown (hundreds of us even with

@@ -25,5 +25,10 @@ let alloc_wired vms self kmap ~pages =
 let alloc_pageable vms self kmap ~pages =
   Vm_map.allocate vms self kmap ~pages ~inh:Vm_map.Inherit_none ()
 
-let free vms self kmap ~vpn ~pages =
-  Vm_map.deallocate vms self kmap ~lo:vpn ~hi:(vpn + pages)
+let free ?batch vms self kmap ~vpn ~pages =
+  match batch with
+  | Some b ->
+      if not (Batch.map b == kmap) then
+        invalid_arg "Kmem.free: batch bound to a different map";
+      Batch.deallocate b self ~lo:vpn ~hi:(vpn + pages)
+  | None -> Vm_map.deallocate vms self kmap ~lo:vpn ~hi:(vpn + pages)

@@ -11,5 +11,9 @@ val alloc_pageable :
   Vmstate.t -> Sim.Sched.thread -> Vm_map.t -> pages:int -> Hw.Addr.vpn
 
 val free :
+  ?batch:Batch.t ->
   Vmstate.t -> Sim.Sched.thread -> Vm_map.t -> vpn:Hw.Addr.vpn -> pages:int ->
   unit
+(** With [?batch] (which must be bound to the same map), the free joins
+    the batch — TLB invalidation and object teardown defer to its flush.
+    @raise Invalid_argument if the batch is bound to a different map. *)

@@ -194,6 +194,17 @@ let run ?bound t body =
 
 let now t = Sim.Engine.now t.eng
 
+(* Scope a kernel-map batch over [f]: the common shape for workloads that
+   free many kernel buffers in a burst.  When batching is disabled the
+   batch degrades to nothing — Kmem.free without [?batch] — so callers
+   can stay oblivious by threading the option through. *)
+let with_kernel_batch t self f =
+  if t.params.Sim.Params.batch_shootdowns then begin
+    let b = Batch.start t.vms t.kernel_map in
+    Fun.protect ~finally:(fun () -> Batch.finish b self) (fun () -> f (Some b))
+  end
+  else f None
+
 (* Total busy CPU time, for overhead percentages. *)
 let total_busy_time t =
   Array.fold_left (fun acc (c : Sim.Cpu.t) -> acc +. c.Sim.Cpu.busy_time) 0.0 t.cpus

@@ -31,5 +31,11 @@ val run : ?bound:int -> t -> (Sim.Sched.thread -> unit) -> unit
 val now : t -> float
 (** Simulated microseconds since boot. *)
 
+val with_kernel_batch :
+  t -> Sim.Sched.thread -> (Batch.t option -> 'a) -> 'a
+(** Run [f] with a batch open on the kernel map when
+    [Params.batch_shootdowns] is set ([f None] otherwise), finishing the
+    batch — one coalesced shootdown round — on the way out. *)
+
 val total_busy_time : t -> float
 (** Sum of per-CPU busy time, for overhead percentages. *)

@@ -5,6 +5,7 @@
    frames.  Pages referenced since deactivation get a second chance. *)
 
 module Addr = Hw.Addr
+module Pmap = Core.Pmap
 module Pmap_ops = Core.Pmap_ops
 
 type stats = { mutable stolen : int; mutable second_chances : int }
@@ -13,7 +14,7 @@ let stats = { stolen = 0; second_chances = 0 }
 
 let pageout_io_latency = 15_000.0 (* us per page written to backing store *)
 
-let run_once vms self =
+let run_once_unbatched vms self =
   let ctx = vms.Vmstate.ctx in
   let sched = vms.Vmstate.sched in
   Vmstate.lock vms self;
@@ -68,6 +69,99 @@ let run_once vms self =
   done;
   Vmstate.unlock vms self;
   !progress
+
+(* Batched variant (docs/BATCHING.md): select the victims first under the
+   VM lock, then route every doomed hardware mapping through a per-pmap
+   gather, so the whole steal pass costs one shootdown round per distinct
+   pmap instead of one per mapped page.  Frames are only released after
+   the gathers finish — the gather contract that nothing torn down may be
+   reused before the flush. *)
+let run_once_batched vms self =
+  let ctx = vms.Vmstate.ctx in
+  let sched = vms.Vmstate.sched in
+  Vmstate.lock vms self;
+  let want = vms.Vmstate.free_target - Vmstate.free_frames vms in
+  if want > 0 && List.length vms.Vmstate.inactive_q < 2 * want then
+    Vmstate.deactivate_some vms (2 * want);
+  (* Nothing is freed during selection, so bound the count by how many
+     frames we still want rather than by the (static) free count. *)
+  let chosen = ref [] (* newest first *) in
+  let selected = ref 0 in
+  let continue_ = ref true in
+  while
+    !continue_
+    && Vmstate.free_frames vms + !selected < vms.Vmstate.free_target
+    && vms.Vmstate.inactive_q <> []
+  do
+    match vms.Vmstate.inactive_q with
+    | [] -> continue_ := false
+    | page :: rest ->
+        vms.Vmstate.inactive_q <- rest;
+        if page.Vm_object.busy || page.Vm_object.wire_count > 0 then
+          Vmstate.activate_page vms page
+        else begin
+          let pfn = page.Vm_object.pfn in
+          let referenced, modified = Pmap_ops.reference_bits ctx ~pfn in
+          if referenced then begin
+            Pmap_ops.clear_reference_bits ctx ~pfn;
+            Vmstate.activate_page vms page;
+            stats.second_chances <- stats.second_chances + 1
+          end
+          else
+            match Vmstate.owner_of_pfn vms pfn with
+            | None -> () (* freed while on the queue *)
+            | Some (obj, _) ->
+                page.Vm_object.busy <- true;
+                chosen := (page, obj, pfn, modified) :: !chosen;
+                incr selected
+        end
+  done;
+  let victims = List.rev !chosen in
+  Vmstate.unlock vms self;
+  (* One gather per distinct pmap, in first-encounter order — an assoc
+     list, not a hash table, so the flush order is deterministic. *)
+  let gathers = ref [] in
+  let gather_for pmap =
+    match List.assq_opt pmap !gathers with
+    | Some g -> g
+    | None ->
+        let g = Core.Gather.start ctx pmap in
+        gathers := !gathers @ [ (pmap, g) ];
+        g
+  in
+  let dirty_total = ref 0 in
+  List.iter
+    (fun (page, _obj, pfn, modified) ->
+      List.iter
+        (fun { Core.Pv_list.pv_pmap = pmap; pv_vpn = vpn } ->
+          Core.Gather.unmap (gather_for pmap)
+            (Sim.Sched.current_cpu self)
+            ~lo:vpn ~hi:(vpn + 1))
+        (Core.Pv_list.mappings ctx.Pmap.pv ~pfn);
+      if modified || page.Vm_object.dirty then incr dirty_total)
+    victims;
+  List.iter
+    (fun (_, g) -> Core.Gather.finish g (Sim.Sched.current_cpu self))
+    !gathers;
+  if !dirty_total > 0 then
+    Sim.Sched.sleep sched self
+      (pageout_io_latency *. float_of_int !dirty_total);
+  Vmstate.lock vms self;
+  List.iter
+    (fun (page, obj, _pfn, _modified) ->
+      page.Vm_object.busy <- false;
+      Sim.Sync.broadcast sched vms.Vmstate.page_wanted;
+      Vmstate.release_page vms obj page;
+      vms.Vmstate.pageouts <- vms.Vmstate.pageouts + 1;
+      stats.stolen <- stats.stolen + 1)
+    victims;
+  Vmstate.unlock vms self;
+  victims <> []
+
+let run_once vms self =
+  if vms.Vmstate.ctx.Pmap.params.Sim.Params.batch_shootdowns then
+    run_once_batched vms self
+  else run_once_unbatched vms self
 
 (* Daemon body: sleep until kicked, then steal until above target. *)
 let daemon vms self =

@@ -33,6 +33,11 @@ type t = {
   mutable entries : entry list; (* sorted by e_start, non-overlapping *)
   map_lock : Sim.Sync.mutex;
   mutable size_pages : int;
+  mutable quarantined : (Addr.vpn * Addr.vpn) list;
+      (* ranges removed by a batched deallocate whose TLB invalidations
+         have not flushed yet (docs/BATCHING.md): stale translations may
+         still resolve them, so the space must not be reallocated.
+         Always empty when batching is off. *)
 }
 
 (* Atomic: ids must stay unique when trials run on several domains
@@ -49,6 +54,7 @@ let create ~pmap ~lo ~hi =
     entries = [];
     map_lock = Sim.Sync.create_mutex (Printf.sprintf "map%d" id_);
     size_pages = 0;
+    quarantined = [];
   }
 
 let lock (vms : Vmstate.t) self t = Sim.Sync.lock vms.Vmstate.sched self t.map_lock
@@ -158,13 +164,26 @@ let entry_count t = List.length t.entries
 
 exception No_space
 
+(* Quarantined ranges (batched deallocations not yet flushed) block
+   allocation exactly like live entries: a stale TLB entry may still
+   translate them.  With no open batches the obstacle list is the entry
+   list and the walk is the historical one. *)
 let find_space t ~pages =
+  let obstacles =
+    match t.quarantined with
+    | [] -> List.map (fun e -> (e.e_start, e.e_end)) t.entries
+    | q ->
+        List.merge
+          (fun (a, _) (b, _) -> compare a b)
+          (List.map (fun e -> (e.e_start, e.e_end)) t.entries)
+          (List.sort compare q)
+  in
   let rec go prev_end = function
     | [] -> if prev_end + pages <= t.hi then prev_end else raise No_space
-    | e :: rest ->
-        if e.e_start - prev_end >= pages then prev_end else go e.e_end rest
+    | (s, e) :: rest ->
+        if s - prev_end >= pages then prev_end else go (max prev_end e) rest
   in
-  go t.lo t.entries
+  go t.lo obstacles
 
 let insert_entry t entry =
   let rec go = function
@@ -189,6 +208,9 @@ let allocate vms self t ~pages ?(prot = Addr.Prot_read_write)
         List.exists
           (fun e -> e.e_start < vpn + pages && vpn < e.e_end)
           t.entries
+        || List.exists
+             (fun (ql, qh) -> ql < vpn + pages && vpn < qh)
+             t.quarantined
       then begin
         unlock vms self t;
         raise No_space
@@ -294,6 +316,18 @@ let set_inheritance vms self t ~lo ~hi ~inh =
 
 let fork vms self parent ~child_pmap =
   lock vms self parent;
+  let ctx = vms.Vmstate.ctx in
+  (* Batched COW teardown (docs/BATCHING.md): every Inherit_copy entry's
+     write-mapping downgrade joins one gather, flushed in a single
+     shootdown round before the map unlocks, instead of one round per
+     entry.  Safe because the parent's stale writable translations are
+     destroyed before fork returns — the same guarantee the per-entry
+     protects gave, delivered once. *)
+  let batch =
+    if ctx.Pmap.params.Sim.Params.batch_shootdowns then
+      Some (Core.Gather.start ctx parent.pmap)
+    else None
+  in
   let child = create ~pmap:child_pmap ~lo:parent.lo ~hi:parent.hi in
   List.iter
     (fun e ->
@@ -330,11 +364,21 @@ let fork vms self parent ~child_pmap =
           e.needs_copy <- true;
           (* Existing parent write mappings must become read-only so the
              parent's next write shadows the object. *)
-          if Addr.prot_allows e.prot Addr.Write_access then
-            Pmap_ops.protect vms.Vmstate.ctx
-              (Sim.Sched.current_cpu self)
-              parent.pmap ~lo:e.e_start ~hi:e.e_end ~prot:Addr.Prot_read)
+          if Addr.prot_allows e.prot Addr.Write_access then begin
+            match batch with
+            | Some g ->
+                Core.Gather.protect g
+                  (Sim.Sched.current_cpu self)
+                  ~lo:e.e_start ~hi:e.e_end ~prot:Addr.Prot_read
+            | None ->
+                Pmap_ops.protect vms.Vmstate.ctx
+                  (Sim.Sched.current_cpu self)
+                  parent.pmap ~lo:e.e_start ~hi:e.e_end ~prot:Addr.Prot_read
+          end)
     parent.entries;
+  (match batch with
+  | Some g -> Core.Gather.finish g (Sim.Sched.current_cpu self)
+  | None -> ());
   unlock vms self parent;
   child
 

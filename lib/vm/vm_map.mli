@@ -28,6 +28,10 @@ type t = {
   mutable entries : entry list;
   map_lock : Sim.Sync.mutex;
   mutable size_pages : int;
+  mutable quarantined : (Hw.Addr.vpn * Hw.Addr.vpn) list;
+      (** ranges removed by a batched deallocate whose TLB invalidations
+          have not flushed yet: blocked from reallocation ([Batch] clears
+          them after its flush); always empty when batching is off *)
 }
 
 val create : pmap:Core.Pmap.t -> lo:Hw.Addr.vpn -> hi:Hw.Addr.vpn -> t
@@ -92,7 +96,9 @@ val set_inheritance :
 val fork : Vmstate.t -> Sim.Sched.thread -> t -> child_pmap:Core.Pmap.t -> t
 (** Build a child map by per-entry inheritance.  Copy entries become
     copy-on-write on both sides; the parent's writable mappings are
-    downgraded (a shootdown if the parent runs elsewhere). *)
+    downgraded (a shootdown if the parent runs elsewhere).  When
+    [Params.batch_shootdowns] is set, every entry's downgrade joins one
+    gather flushed in a single round before the map unlocks. *)
 
 val destroy : Vmstate.t -> Sim.Sched.thread -> t -> unit
 

@@ -123,5 +123,6 @@ let body ?(cfg = default_config) (machine : Machine.t) self =
   List.iter (fun th -> Sim.Sched.join sched self th) workers;
   Task.terminate vms self task
 
-let run ?(params = Sim.Params.production) ?trace ?(cfg = default_config) () =
-  Driver.run ~params ?trace ~name:"Camelot" (body ~cfg)
+let run ?(params = Sim.Params.production) ?trace ?attach
+    ?(cfg = default_config) () =
+  Driver.run ~params ?trace ?attach ~name:"Camelot" (body ~cfg)

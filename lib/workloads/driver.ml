@@ -14,15 +14,20 @@ type report = {
   responders : float list; (* sampled responder elapsed times *)
   skipped_lazy : int; (* shootdowns avoided by the lazy check *)
   ipis_sent : int;
+  shootdowns_initiated : int; (* consistency rounds actually run *)
+  batches_opened : int;
+  batch_ops : int; (* operations queued into gather batches *)
+  batch_flushes : int; (* batch flushes that ran a round *)
 }
 
-let run ?(params = Sim.Params.production) ?trace ~name body =
+let run ?(params = Sim.Params.production) ?trace ?attach ~name body =
   let machine = Vm.Machine.create ~params () in
   (match trace with
   | Some tr ->
       machine.Vm.Machine.ctx.Core.Pmap.trace <- Some tr;
       Sim.Engine.set_tracer machine.Vm.Machine.eng (Some tr)
   | None -> ());
+  (match attach with Some f -> f machine | None -> ());
   Vm.Machine.run machine (fun self -> body machine self);
   let xpr = machine.Vm.Machine.xpr in
   let ctx = machine.Vm.Machine.ctx in
@@ -35,6 +40,10 @@ let run ?(params = Sim.Params.production) ?trace ~name body =
     responders = Summary.responders xpr;
     skipped_lazy = ctx.Core.Pmap.shootdowns_skipped_lazy;
     ipis_sent = ctx.Core.Pmap.ipis_sent;
+    shootdowns_initiated = ctx.Core.Pmap.shootdowns_initiated;
+    batches_opened = ctx.Core.Pmap.batches_opened;
+    batch_ops = ctx.Core.Pmap.batch_ops;
+    batch_flushes = ctx.Core.Pmap.batch_flushes;
   }
 
 (* Per-application overhead of shootdowns as a fraction of busy time,

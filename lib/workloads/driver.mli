@@ -11,17 +11,24 @@ type report = {
   responders : float list; (** sampled responder elapsed times *)
   skipped_lazy : int; (** shootdowns avoided by the lazy check *)
   ipis_sent : int;
+  shootdowns_initiated : int; (** consistency rounds actually run *)
+  batches_opened : int;
+  batch_ops : int; (** operations queued into gather batches *)
+  batch_flushes : int; (** batch flushes that ran a round *)
 }
 
 val run :
   ?params:Sim.Params.t ->
   ?trace:Instrument.Trace.t ->
+  ?attach:(Vm.Machine.t -> unit) ->
   name:string ->
   (Vm.Machine.t -> Sim.Sched.thread -> unit) ->
   report
 (** [trace], when given, is attached to the machine's pmap context and
     engine before the body runs, so the whole workload emits structured
-    shootdown spans into it. *)
+    shootdown spans into it.  [attach] runs after the machine boots and
+    before the body — the hook the batching ablation uses to install the
+    consistency oracle on every trial. *)
 
 val overhead_percent : Sim.Params.t -> report -> float
 (** Initiator plus sample-scaled responder time over busy time, the

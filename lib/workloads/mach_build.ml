@@ -61,21 +61,26 @@ let compile_job (machine : Machine.t) self ~cfg ~prng ~job_id =
    with
   | Ok () -> ()
   | Error _ -> failwith "mach_build: source fault failed");
-  (* The compilation proper: kernel buffer churn. *)
-  for _ = 1 to cfg.buffers_per_job do
-    Sim.Cpu.kernel_step (cpu ()) (Sim.Prng.exponential prng cfg.compute_per_buffer);
-    let buf = Kmem.alloc_pageable vms self kmap ~pages:cfg.buffer_pages in
-    if Sim.Prng.float prng < cfg.use_fraction then begin
-      match
-        Task.touch_range vms self kmap ~lo_vpn:buf ~pages:cfg.buffer_pages
-          ~access:Addr.Write_access
-      with
-      | Ok () -> ()
-      | Error _ -> failwith "mach_build: kernel buffer fault failed"
-    end;
-    Sim.Cpu.kernel_step (cpu ()) (Sim.Prng.exponential prng 300.0);
-    Kmem.free vms self kmap ~vpn:buf ~pages:cfg.buffer_pages
-  done;
+  (* The compilation proper: kernel buffer churn.  Under batching every
+     free in the job joins one kernel-map batch, so the shootdown rounds
+     coalesce (the batch auto-flushes past [batch_max_ops]); unbatched,
+     each free is its own round — the historical behaviour. *)
+  Machine.with_kernel_batch machine self (fun batch ->
+      for _ = 1 to cfg.buffers_per_job do
+        Sim.Cpu.kernel_step (cpu ())
+          (Sim.Prng.exponential prng cfg.compute_per_buffer);
+        let buf = Kmem.alloc_pageable vms self kmap ~pages:cfg.buffer_pages in
+        if Sim.Prng.float prng < cfg.use_fraction then begin
+          match
+            Task.touch_range vms self kmap ~lo_vpn:buf ~pages:cfg.buffer_pages
+              ~access:Addr.Write_access
+          with
+          | Ok () -> ()
+          | Error _ -> failwith "mach_build: kernel buffer fault failed"
+        end;
+        Sim.Cpu.kernel_step (cpu ()) (Sim.Prng.exponential prng 300.0);
+        Kmem.free ?batch vms self kmap ~vpn:buf ~pages:cfg.buffer_pages
+      done);
   (* exit: tear the address space down *)
   Vm_map.deallocate vms self task.Task.map ~lo:src ~hi:(src + cfg.source_pages);
   Task.terminate vms self task
@@ -109,5 +114,6 @@ let body ?(cfg = default_config) (machine : Machine.t) self =
   done;
   List.iter (fun th -> Sim.Sched.join sched self th) !workers
 
-let run ?(params = Sim.Params.production) ?trace ?(cfg = default_config) () =
-  Driver.run ~params ?trace ~name:"Mach" (body ~cfg)
+let run ?(params = Sim.Params.production) ?trace ?attach
+    ?(cfg = default_config) () =
+  Driver.run ~params ?trace ?attach ~name:"Mach" (body ~cfg)

@@ -21,6 +21,7 @@ val body : ?cfg:config -> Vm.Machine.t -> Sim.Sched.thread -> unit
 val run :
   ?params:Sim.Params.t ->
   ?trace:Instrument.Trace.t ->
+  ?attach:(Vm.Machine.t -> unit) ->
   ?cfg:config ->
   unit ->
   Driver.report

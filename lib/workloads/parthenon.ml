@@ -129,5 +129,6 @@ let body ?(cfg = default_config) (machine : Machine.t) self =
     prover_run machine self ~cfg ~prng:(Sim.Prng.split prng) ~run_id
   done
 
-let run ?(params = Sim.Params.production) ?trace ?(cfg = default_config) () =
-  Driver.run ~params ?trace ~name:"Parthenon" (body ~cfg)
+let run ?(params = Sim.Params.production) ?trace ?attach
+    ?(cfg = default_config) () =
+  Driver.run ~params ?trace ?attach ~name:"Parthenon" (body ~cfg)

@@ -316,6 +316,203 @@ let test_queue_overflow_forces_flush () =
   Alcotest.(check bool) "consistent with tiny queues" true
     r.Workloads.Tlb_tester.consistent
 
+(* ------------------------------------------------------------------ *)
+(* Deferred shootdown batching (Core.Gather, docs/BATCHING.md) *)
+
+module Gather = Core.Gather
+module Oracle = Core.Consistency_oracle
+
+let ranges_t = Alcotest.(list (pair int int))
+
+let test_gather_coalescing () =
+  let ins l (lo, hi) = Gather.insert_range l ~lo ~hi in
+  let check msg want inserts =
+    Alcotest.(check ranges_t) msg want (List.fold_left ins [] inserts)
+  in
+  check "disjoint, sorted" [ (1, 2); (5, 7) ] [ (5, 7); (1, 2) ];
+  check "adjacent merge" [ (1, 5) ] [ (1, 3); (3, 5) ];
+  check "overlap merge" [ (1, 8) ] [ (1, 5); (4, 8) ];
+  check "duplicate idempotent" [ (2, 4) ] [ (2, 4); (2, 4) ];
+  check "empty dropped" [ (2, 4) ] [ (2, 4); (9, 9) ];
+  check "gap-closing merge" [ (0, 10) ] [ (0, 2); (8, 10); (2, 8) ]
+
+let test_gather_empty_flush_free () =
+  on_machine (fun machine self ->
+      let ctx = machine.Vm.Machine.ctx in
+      let cpu = Sim.Sched.current_cpu self in
+      let pmap = Pmap.create_pmap ctx ~name:"g" in
+      let g = Gather.start ctx pmap in
+      let skips = ctx.Pmap.shootdowns_skipped_lazy in
+      (* an unmap the lazy check proves harmless contributes nothing *)
+      Gather.unmap g cpu ~lo:100 ~hi:120;
+      Alcotest.(check int) "op counted" 1 (Gather.pending_ops g);
+      Alcotest.(check ranges_t) "nothing pending" [] (Gather.pending_ranges g);
+      Alcotest.(check bool) "lazy skip counted" true
+        (ctx.Pmap.shootdowns_skipped_lazy > skips);
+      let rounds = ctx.Pmap.shootdowns_initiated in
+      let elided = ctx.Pmap.batch_flushes_elided in
+      let t0 = Vm.Machine.now machine in
+      Gather.flush g cpu;
+      Alcotest.(check int) "no consistency round" rounds
+        ctx.Pmap.shootdowns_initiated;
+      Alcotest.(check int) "elided flush counted" (elided + 1)
+        ctx.Pmap.batch_flushes_elided;
+      Alcotest.(check (float 0.0)) "no simulated time" t0
+        (Vm.Machine.now machine);
+      Gather.finish g cpu;
+      Alcotest.check_raises "use after finish raises"
+        (Invalid_argument "Gather.unmap: batch finished") (fun () ->
+          Gather.unmap g cpu ~lo:0 ~hi:1))
+
+let test_gather_range_crosses_flush_threshold () =
+  (* A batched unmap whose coalesced range crosses tlb_flush_threshold:
+     the flush round falls back to whole-TLB flushes and the page tables
+     still end up clean with the oracle green. *)
+  let machine = boot () in
+  let oracle = Oracle.attach machine.Vm.Machine.ctx in
+  let pages = quiet.Sim.Params.tlb_flush_threshold + 4 in
+  Vm.Machine.run machine (fun self ->
+      let vms = machine.Vm.Machine.vms in
+      let ctx = machine.Vm.Machine.ctx in
+      let cpu = Sim.Sched.current_cpu self in
+      let task = Vm.Task.create vms ~name:"t" in
+      Vm.Task.adopt vms self task;
+      let vpn = Vm.Vm_map.allocate vms self task.Vm.Task.map ~pages () in
+      (match
+         Vm.Task.touch_range vms self task.Vm.Task.map ~lo_vpn:vpn ~pages
+           ~access:Addr.Write_access
+       with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "touch");
+      let pmap = task.Vm.Task.map.Vm.Vm_map.pmap in
+      let g = Gather.start ctx pmap in
+      (* two halves coalesce into one range wider than the threshold *)
+      let mid = vpn + (pages / 2) in
+      Gather.unmap g cpu ~lo:vpn ~hi:mid;
+      Gather.unmap g cpu ~lo:mid ~hi:(vpn + pages);
+      Alcotest.(check ranges_t) "coalesced into one range"
+        [ (vpn, vpn + pages) ]
+        (Gather.pending_ranges g);
+      Alcotest.(check bool) "crosses the flush threshold" true
+        (Gather.pending_pages g > quiet.Sim.Params.tlb_flush_threshold);
+      Gather.finish g cpu;
+      for v = vpn to vpn + pages - 1 do
+        Alcotest.(check bool) "mapping cleared" true
+          (Pmap_ops.extract pmap ~vpn:v = None)
+      done);
+  Alcotest.(check bool) "oracle green" true (Oracle.consistent oracle)
+
+let test_batch_with_forced_overflow () =
+  (* Every responder's action queue is forced to overflow: the gather
+     flush must survive the Flush_everything fallback with the oracle
+     green. *)
+  let params =
+    {
+      quiet with
+      Sim.Params.seed = 21L;
+      batch_shootdowns = true;
+      faults = { Sim.Fault.none with Sim.Fault.queue_overflow_rate = 1.0 };
+    }
+  in
+  let machine = boot ~params () in
+  let oracle = Oracle.attach machine.Vm.Machine.ctx in
+  Vm.Machine.run machine (fun self ->
+      let vms = machine.Vm.Machine.vms in
+      let kmap = machine.Vm.Machine.kernel_map in
+      let sched = machine.Vm.Machine.sched in
+      let spinners =
+        List.init 3 (fun i ->
+            Sim.Sched.create_thread sched ~name:(Printf.sprintf "spin%d" i)
+              (fun th ->
+                for _ = 1 to 150 do
+                  Sim.Cpu.kernel_step (Sim.Sched.current_cpu th) 50.0
+                done))
+      in
+      Vm.Machine.with_kernel_batch machine self (fun batch ->
+          for _ = 1 to 10 do
+            let buf = Vm.Kmem.alloc_pageable vms self kmap ~pages:2 in
+            (match
+               Vm.Task.touch_range vms self kmap ~lo_vpn:buf ~pages:2
+                 ~access:Addr.Write_access
+             with
+            | Ok () -> ()
+            | Error _ -> Alcotest.fail "buffer fault");
+            Vm.Kmem.free ?batch vms self kmap ~vpn:buf ~pages:2
+          done);
+      List.iter (fun th -> Sim.Sched.join sched self th) spinners);
+  Alcotest.(check bool) "oracle green under forced overflow" true
+    (Oracle.consistent oracle);
+  Alcotest.(check bool) "batch actually flushed" true
+    (machine.Vm.Machine.ctx.Pmap.batch_flushes > 0)
+
+(* QCheck: any sequence of unmap/protect operations leaves the same final
+   page-table state whether applied directly or through a gather batch,
+   with the oracle green either way. *)
+
+let decode_gather_ops n l =
+  let rec pairs = function
+    | a :: b :: rest -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  List.map
+    (fun (a, b) ->
+      let lo = b mod n in
+      let hi = min n (lo + 1 + (a / 3 mod 4)) in
+      (a mod 3, lo, hi))
+    (pairs l)
+
+let run_gather_ops ~batched ops =
+  let params =
+    { quiet with Sim.Params.seed = 123L; batch_shootdowns = batched }
+  in
+  let machine = boot ~params () in
+  let oracle = Oracle.attach machine.Vm.Machine.ctx in
+  let n = 16 in
+  let state = ref [] in
+  Vm.Machine.run machine (fun self ->
+      let ctx = machine.Vm.Machine.ctx in
+      let cpu = Sim.Sched.current_cpu self in
+      let pmap = Pmap.create_pmap ctx ~name:"q" in
+      for vpn = 0 to n - 1 do
+        let pfn = Hw.Phys_mem.alloc_frame machine.Vm.Machine.mem in
+        Pmap_ops.enter ctx cpu pmap ~vpn ~pfn ~prot:Addr.Prot_read_write
+          ~wired:false
+      done;
+      (if batched then (
+         let g = Gather.start ctx pmap in
+         List.iter
+           (fun (kind, lo, hi) ->
+             match kind with
+             | 0 -> Gather.unmap g cpu ~lo ~hi
+             | 1 -> Gather.protect g cpu ~lo ~hi ~prot:Addr.Prot_read
+             | _ -> Gather.protect g cpu ~lo ~hi ~prot:Addr.Prot_none)
+           ops;
+         Gather.finish g cpu)
+       else
+         List.iter
+           (fun (kind, lo, hi) ->
+             match kind with
+             | 0 -> Pmap_ops.remove ctx cpu pmap ~lo ~hi
+             | 1 -> Pmap_ops.protect ctx cpu pmap ~lo ~hi ~prot:Addr.Prot_read
+             | _ -> Pmap_ops.protect ctx cpu pmap ~lo ~hi ~prot:Addr.Prot_none)
+           ops);
+      state :=
+        List.init n (fun vpn ->
+            match Pmap_ops.extract pmap ~vpn with
+            | Some (_, prot) -> Some prot
+            | None -> None));
+  (!state, Oracle.consistent oracle)
+
+let fuzz_gather_equiv =
+  QCheck.Test.make ~count:20
+    ~name:"batched == unbatched final page-table state, oracle green"
+    QCheck.(list_of_size Gen.(0 -- 12) small_nat)
+    (fun l ->
+      let ops = decode_gather_ops 16 l in
+      let unbatched, green_u = run_gather_ops ~batched:false ops in
+      let batched, green_b = run_gather_ops ~batched:true ops in
+      unbatched = batched && green_u && green_b)
+
 let test_flush_threshold_large_range () =
   (* A big reprotect crosses the invalidate-vs-flush threshold; the
      responder flushes its whole TLB and consistency still holds. *)
@@ -362,5 +559,16 @@ let () =
             test_asid_in_use_persists;
           Alcotest.test_case "asid no flush on switch" `Quick
             test_asid_no_flush_on_switch;
+        ] );
+      ( "gather",
+        [
+          Alcotest.test_case "range coalescing" `Quick test_gather_coalescing;
+          Alcotest.test_case "empty flush is free" `Quick
+            test_gather_empty_flush_free;
+          Alcotest.test_case "range crosses flush threshold" `Quick
+            test_gather_range_crosses_flush_threshold;
+          Alcotest.test_case "forced queue overflow" `Quick
+            test_batch_with_forced_overflow;
+          QCheck_alcotest.to_alcotest fuzz_gather_equiv;
         ] );
     ]

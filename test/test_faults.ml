@@ -61,6 +61,55 @@ let test_ci_plans_green () =
         (Oracle.checks oracle > 0))
     ci_plans
 
+(* A burst of batched kernel-buffer frees under a fault plan: gather
+   flush rounds (docs/BATCHING.md) must survive the same adversity as
+   ordinary shootdowns, and the oracle must stay green even though the
+   batch holds translations stale on purpose between flushes. *)
+let batched_trial ~plan ~seed =
+  let params =
+    { quiet with Sim.Params.faults = plan; seed; batch_shootdowns = true }
+  in
+  let machine = Vm.Machine.create ~params () in
+  let oracle = Oracle.attach machine.Vm.Machine.ctx in
+  Vm.Machine.run machine (fun self ->
+      let vms = machine.Vm.Machine.vms in
+      let kmap = machine.Vm.Machine.kernel_map in
+      let sched = machine.Vm.Machine.sched in
+      let spinners =
+        List.init 3 (fun i ->
+            Sim.Sched.create_thread sched ~name:(Printf.sprintf "spin%d" i)
+              (fun th ->
+                for _ = 1 to 150 do
+                  Sim.Cpu.kernel_step (Sim.Sched.current_cpu th) 50.0
+                done))
+      in
+      Vm.Machine.with_kernel_batch machine self (fun batch ->
+          for _ = 1 to 10 do
+            let buf = Vm.Kmem.alloc_pageable vms self kmap ~pages:2 in
+            (match
+               Vm.Task.touch_range vms self kmap ~lo_vpn:buf ~pages:2
+                 ~access:Hw.Addr.Write_access
+             with
+            | Ok () -> ()
+            | Error _ -> Alcotest.fail "buffer fault");
+            Vm.Kmem.free ?batch vms self kmap ~vpn:buf ~pages:2
+          done);
+      List.iter (fun th -> Sim.Sched.join sched self th) spinners);
+  (oracle, machine.Vm.Machine.ctx)
+
+let test_ci_plans_green_batched () =
+  List.iter
+    (fun (name, plan) ->
+      let oracle, ctx = batched_trial ~plan ~seed:1337L in
+      Alcotest.(check bool)
+        (name ^ ": oracle green under batching")
+        true (Oracle.consistent oracle);
+      Alcotest.(check bool)
+        (name ^ ": a batch flush ran a round")
+        true
+        (ctx.Core.Pmap.batch_flushes > 0))
+    ci_plans
+
 (* A total IPI blackout forces the watchdog down the full path: retries,
    then escalation with forced remote invalidation — and the protocol
    still holds. *)
@@ -202,6 +251,8 @@ let () =
         [
           Alcotest.test_case "CI fault ladder stays green" `Quick
             test_ci_plans_green;
+          Alcotest.test_case "CI fault ladder stays green batched" `Quick
+            test_ci_plans_green_batched;
           Alcotest.test_case "blackout escalates and recovers" `Quick
             test_blackout_escalates;
           Alcotest.test_case "dropped IPIs recovered by retry" `Quick
