@@ -8,7 +8,9 @@
      tlbshoot faults [--trials 3] [--children 6] [--jobs N] [--json]
      tlbshoot batch [--scale 100] [--jobs N] [--json]
      tlbshoot tester --children 4 [--no-consistency | --policy ...]
-     tlbshoot trace [--workload tester] [--children 4] [--scale 10] [--json]
+     tlbshoot trace [--workload tester] [--children 4] [--scale 10]
+                    [--json] [--perfetto out.json]
+     tlbshoot profile [--runs 10] [--max-procs 15] [--jobs N] [--json]
      tlbshoot all [--scale 100] [--jobs N]
 
    --jobs fans independent trials over that many OCaml domains through
@@ -102,14 +104,23 @@ let run_tester ~children ~policy =
     r.Workloads.Tlb_tester.increments_total
 
 (* Replay a workload with the structured span tracer attached and dump
-   the stream — the machine-readable "anatomy of a shootdown". *)
-let run_trace ~workload ~children ~scale ~emit_json =
+   the stream — the machine-readable "anatomy of a shootdown".  With
+   --perfetto the same stream is written as a Chrome trace-event file
+   (one track per CPU) loadable in ui.perfetto.dev; the tester path also
+   attaches the contention profiler so the timeline carries the
+   prof.<category> attribution slices. *)
+let run_trace ~workload ~children ~scale ~emit_json ~perfetto =
   let tr = Instrument.Trace.create () in
   (match String.lowercase_ascii workload with
   | "tester" ->
       let machine = Vm.Machine.create ~params:Sim.Params.default () in
       machine.Vm.Machine.ctx.Core.Pmap.trace <- Some tr;
       Sim.Engine.set_tracer machine.Vm.Machine.eng (Some tr);
+      let profile =
+        Instrument.Profile.create ~ncpus:Sim.Params.default.Sim.Params.ncpus ()
+      in
+      Instrument.Profile.set_tracer profile (Some tr);
+      Vm.Machine.attach_profile machine profile;
       ignore (Workloads.Tlb_tester.run machine ~children ())
   | "mach" ->
       ignore
@@ -131,9 +142,29 @@ let run_trace ~workload ~children ~scale ~emit_json =
       failwith
         (Printf.sprintf
            "unknown workload %S (tester|mach|parthenon|agora|camelot)" other));
+  (match perfetto with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Instrument.Perfetto.to_string tr);
+      close_out oc;
+      Printf.printf "wrote %d spans (%d dropped) to %s\n"
+        (Instrument.Trace.length tr)
+        (Instrument.Trace.dropped tr)
+        file
+  | None ->
+      if emit_json then
+        print_string
+          (Instrument.Json.to_string (Instrument.Trace.report_json tr))
+      else print_string (Instrument.Trace.render tr))
+
+(* The knee decomposition: figure2 with the contention profiler attached.
+   Exits 1 unless the knee invariant holds (CI gate). *)
+let print_profile ~jobs ~runs ~max_procs ~emit_json =
+  let k = Experiments.Knee.run ~jobs ~runs_per_point:runs ~max_procs () in
   if emit_json then
-    print_string (Instrument.Json.to_string (Instrument.Trace.to_json tr))
-  else print_string (Instrument.Trace.render tr)
+    print_string (Instrument.Json.to_string (Experiments.Knee.to_json k))
+  else print_string (Experiments.Knee.render k);
+  if not (Experiments.Knee.knee_holds k) then exit 1
 
 let print_all ~jobs ~scale ~runs =
   print_figure2 ~jobs ~runs ~max_procs:15;
@@ -274,14 +305,43 @@ let trace_cmd =
   let json_arg =
     Arg.(
       value & flag
-      & info [ "json" ] ~doc:"Emit the span stream as a JSON array.")
+      & info [ "json" ]
+          ~doc:
+            "Emit the span stream as a JSON report (schema \
+             tlbshoot-spans-v1, with emitted/dropped counters).")
+  in
+  let perfetto_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Write the stream as a Chrome trace-event file (one track per \
+             CPU) loadable in ui.perfetto.dev.")
   in
   cmd "trace"
     "Replay a workload with the span tracer attached and dump the stream"
     Term.(
-      const (fun workload children scale emit_json ->
-          run_trace ~workload ~children ~scale ~emit_json)
-      $ workload_arg $ children_arg $ trace_scale_arg $ json_arg)
+      const (fun workload children scale emit_json perfetto ->
+          run_trace ~workload ~children ~scale ~emit_json ~perfetto)
+      $ workload_arg $ children_arg $ trace_scale_arg $ json_arg
+      $ perfetto_arg)
+
+let profile_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the decomposition as a JSON report (tlbshoot-knee-v1).")
+  in
+  cmd "profile"
+    "Run the Figure 2 sweep with the contention profiler attached and \
+     decompose where the time goes per CPU count (exits 1 unless the \
+     bus-wait share rises between 4 and 16 CPUs)"
+    Term.(
+      const (fun jobs runs max_procs emit_json ->
+          print_profile ~jobs ~runs ~max_procs ~emit_json)
+      $ jobs_arg $ runs_arg $ max_procs_arg $ json_arg)
 
 let all_cmd =
   cmd "all" "Run every experiment"
@@ -311,6 +371,7 @@ let () =
         batch_cmd;
         tester_cmd;
         trace_cmd;
+        profile_cmd;
         all_cmd;
       ]
   in

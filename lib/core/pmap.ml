@@ -47,6 +47,12 @@ type ctx = {
   mutable trace : Instrument.Trace.t option;
       (* structured span stream; attached by the trace CLI / workload
          drivers, None (and cost-free) otherwise *)
+  resp_enter_at : float array;
+  shoot_start_at : float array;
+      (* per-CPU timestamps of the last responder.enter /
+         initiator.start, written only while a tracer is attached:
+         Shoot_trace uses them to stamp the matching responder.ack and
+         initiator.update-done spans with a dur attribute *)
   (* --- shootdown state (paper Figure 1) --- *)
   active : bool array; (* processors actively translating *)
   action_needed : bool array;
@@ -116,6 +122,8 @@ let create_ctx ~eng ~bus ~cpus ~mmus ~mem ~params ~xpr =
       mem;
       xpr;
       trace = None;
+      resp_enter_at = Array.make n nan;
+      shoot_start_at = Array.make n nan;
       active = Array.make n false;
       action_needed = Array.make n false;
       draining = Array.make n false;
@@ -183,12 +191,14 @@ let activate ctx pmap (cpu : Sim.Cpu.t) =
      would deadlock. *)
   ctx.shoot_phase.(id) <- "activate-spin";
   cpu.Sim.Cpu.note <- "activate-spin";
+  Sim.Cpu.prof_enter cpu Instrument.Profile.Lock_spin;
   while
     Sim.Spinlock.is_locked pmap.lock
     || Sim.Spinlock.is_locked ctx.kernel_pmap.lock
   do
     Sim.Cpu.spin_poll cpu
   done;
+  Sim.Cpu.prof_leave cpu;
   ctx.shoot_phase.(id) <- "activated"
 
 let deactivate ctx pmap (cpu : Sim.Cpu.t) =

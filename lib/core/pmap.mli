@@ -39,6 +39,12 @@ type ctx = {
   xpr : Instrument.Xpr.t;
   mutable trace : Instrument.Trace.t option;
       (** structured span stream; [None] (and cost-free) unless attached *)
+  resp_enter_at : float array;
+  shoot_start_at : float array;
+      (** per-CPU timestamps of the last [responder.enter] /
+          [initiator.start]; written only while a tracer is attached, so
+          [Shoot_trace] can give the matching [responder.ack] and
+          [initiator.update-done] spans a [dur] attribute *)
   active : bool array;  (** processors actively translating *)
   action_needed : bool array;
   draining : bool array;

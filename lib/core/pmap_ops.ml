@@ -27,7 +27,7 @@ let charge_pages ctx (cpu : Sim.Cpu.t) n =
   if n > 0 then begin
     Sim.Cpu.raw_delay cpu
       (ctx.Pmap.params.pmap_op_page_cost *. float_of_int n);
-    Sim.Bus.access ctx.Pmap.bus ~n ()
+    Sim.Bus.access ctx.Pmap.bus ~n ~who:(Sim.Cpu.id cpu) ()
   end
 
 (* ------------------------------------------------------------------ *)

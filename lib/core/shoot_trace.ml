@@ -57,6 +57,7 @@ let record ctx ~code ~cpu ?(arg2 = 0) () =
   match ctx.Pmap.trace with
   | None -> ()
   | Some tr ->
+      let now = Sim.Engine.now ctx.Pmap.eng in
       let attrs =
         if code = c_queue_action then
           (* depth is read under the target's queue lock, still held *)
@@ -72,8 +73,24 @@ let record ctx ~code ~cpu ?(arg2 = 0) () =
         then [ ("target", Trace.Int arg2) ]
         else []
       in
-      Trace.emit tr ~name:(span_name code) ~cpu
-        ~at:(Sim.Engine.now ctx.Pmap.eng) ~attrs ()
+      (* Phase durations readable without pairing events by hand:
+         responder.enter->responder.ack and
+         initiator.start->initiator.update-done carry the elapsed time as
+         a [dur] attribute (like engine.coroutine).  The pairing
+         timestamps live in the context and are written only here, so the
+         no-tracer path stays one branch. *)
+      if code = c_resp_enter then ctx.Pmap.resp_enter_at.(cpu) <- now
+      else if code = c_initiator_start then ctx.Pmap.shoot_start_at.(cpu) <- now;
+      let at, dur =
+        let phase_start since =
+          if Float.is_nan since then (now, None) else (since, Some (now -. since))
+        in
+        if code = c_resp_ack then phase_start ctx.Pmap.resp_enter_at.(cpu)
+        else if code = c_update_done then
+          phase_start ctx.Pmap.shoot_start_at.(cpu)
+        else (now, None)
+      in
+      Trace.emit tr ~name:(span_name code) ~cpu ~at ?dur ~attrs ()
 
 (* The flush-vs-invalidate decision of the responder/initiator TLB work
    (omitted detail 1 of Figure 1), only visible in the span stream. *)

@@ -91,6 +91,7 @@ let perform_action ctx (cpu : Sim.Cpu.t) = function
 let process_queued_actions ctx (cpu : Sim.Cpu.t) =
   let id = Sim.Cpu.id cpu in
   let q = ctx.Pmap.queues.(id) in
+  Sim.Cpu.prof_enter cpu Instrument.Profile.Queue_drain;
   let saved = Sim.Spinlock.acquire q.Action.lock cpu in
   let work = Action.drain q in
   (* action_needed is cleared before the invalidations are performed:
@@ -142,6 +143,7 @@ let process_queued_actions ctx (cpu : Sim.Cpu.t) =
         touched_kernel
   in
   ctx.Pmap.draining.(id) <- false;
+  Sim.Cpu.prof_leave cpu;
   touched_kernel
 
 (* ------------------------------------------------------------------ *)
@@ -193,18 +195,21 @@ let responder ctx (cpu : Sim.Cpu.t) =
        with &&; the prose of phases 2-4 and the production sources require
        ||, which is what we implement — see DESIGN.md.) *)
     ctx.Pmap.active.(id) <- false;
-    Sim.Bus.access ctx.Pmap.bus ();
+    Sim.Bus.access ctx.Pmap.bus ~who:id ();
     cpu.Sim.Cpu.note <- "responder-spin";
     Shoot_trace.record ctx ~code:Shoot_trace.c_resp_ack ~cpu:id ();
-    if responder_must_stall ctx.Pmap.params then
+    if responder_must_stall ctx.Pmap.params then begin
+      Sim.Cpu.prof_enter cpu Instrument.Profile.Ack_wait;
       while relevant_pmap_locked ctx cpu do
         Sim.Cpu.spin_poll_masked cpu
       done;
+      Sim.Cpu.prof_leave cpu
+    end;
     (* Phase 4: drain the queued invalidations and rejoin. *)
     Shoot_trace.record ctx ~code:Shoot_trace.c_resp_drain ~cpu:id ();
     if process_queued_actions ctx cpu then touched_kernel := true;
     ctx.Pmap.active.(id) <- was_active;
-    Sim.Bus.access ctx.Pmap.bus ()
+    Sim.Bus.access ctx.Pmap.bus ~who:id ()
   done;
   ctx.Pmap.shoot_phase.(id) <- "responded";
   if !did_work then
@@ -212,6 +217,7 @@ let responder ctx (cpu : Sim.Cpu.t) =
   Sim.Cpu.restore_ipl cpu saved;
   let elapsed = Sim.Cpu.now cpu -. entered in
   ctx.Pmap.shootdown_responder_time <- ctx.Pmap.shootdown_responder_time +. elapsed;
+  if !did_work then Sim.Cpu.prof_observe cpu ~name:"shoot/responder_us" elapsed;
   (* Spurious activations (the action was already drained by the idle
      check before the interrupt landed) are not responses to anything and
      are not recorded. *)
@@ -230,9 +236,11 @@ let idle_check ctx (cpu : Sim.Cpu.t) =
     let saved = Sim.Cpu.set_ipl cpu Sim.Interrupt.ipl_high in
     while ctx.Pmap.action_needed.(id) do
       cpu.Sim.Cpu.note <- "idle-check-spin";
+      Sim.Cpu.prof_enter cpu Instrument.Profile.Ack_wait;
       while relevant_pmap_locked ctx cpu do
         Sim.Cpu.spin_poll_masked cpu
       done;
+      Sim.Cpu.prof_leave cpu;
       ignore (process_queued_actions ctx cpu)
     done;
     Shoot_trace.record ctx ~code:Shoot_trace.c_idle_drain ~cpu:id ();
@@ -264,21 +272,21 @@ let send_ipis ctx (cpu : Sim.Cpu.t) targets =
       List.iter
         (fun target ->
           Sim.Cpu.raw_delay cpu params.ipi_send_cost;
-          Sim.Bus.access ctx.Pmap.bus ();
+          Sim.Bus.access ctx.Pmap.bus ~who:me ();
           ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + 1;
           post target)
         targets
   | Sim.Params.Multicast ->
       if targets <> [] then begin
         Sim.Cpu.raw_delay cpu params.ipi_send_cost;
-        Sim.Bus.access ctx.Pmap.bus ();
+        Sim.Bus.access ctx.Pmap.bus ~who:me ();
         ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + List.length targets;
         List.iter post targets
       end
   | Sim.Params.Broadcast ->
       if targets <> [] then begin
         Sim.Cpu.raw_delay cpu params.ipi_send_cost;
-        Sim.Bus.access ctx.Pmap.bus ();
+        Sim.Bus.access ctx.Pmap.bus ~who:me ();
         (* every other CPU is interrupted, wanted or not *)
         Array.iter
           (fun (target : Sim.Cpu.t) ->
@@ -358,7 +366,7 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
               ctx.Pmap.action_needed.(oid) <- true;
               Sim.Cpu.raw_delay cpu params.queue_action_cost;
               (* the action record and flag are uncached remote writes *)
-              Sim.Bus.access ctx.Pmap.bus ~n:4 ())
+              Sim.Bus.access ctx.Pmap.bus ~n:4 ~who:me ())
             ranges;
           Shoot_trace.record ctx ~code:Shoot_trace.c_queue_action ~cpu:me
             ~arg2:oid ();
@@ -386,6 +394,8 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
         (not ctx.Pmap.action_needed.(oid)) || not pmap.Pmap.in_use.(oid)
     in
     let timeout = params.shoot_watchdog_timeout in
+    let barrier_started = Sim.Cpu.now cpu in
+    Sim.Cpu.prof_enter cpu Instrument.Profile.Ack_wait;
     List.iter
       (fun (other : Sim.Cpu.t) ->
         let oid = Sim.Cpu.id other in
@@ -414,7 +424,7 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
                 Shoot_trace.record ctx ~code:Shoot_trace.c_watchdog_retry
                   ~cpu:me ~arg2:oid ();
                 Sim.Cpu.raw_delay cpu params.ipi_send_cost;
-                Sim.Bus.access ctx.Pmap.bus ();
+                Sim.Bus.access ctx.Pmap.bus ~who:me ();
                 ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + 1;
                 Sim.Engine.after ctx.Pmap.eng params.ipi_latency (fun () ->
                     Sim.Cpu.post other Sim.Interrupt.Shootdown);
@@ -430,6 +440,9 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
             ctx.Pmap.watchdog_recoveries <- ctx.Pmap.watchdog_recoveries + 1
         end)
       shoot_list;
+    Sim.Cpu.prof_leave cpu;
+    Sim.Cpu.prof_observe cpu ~name:"shoot/barrier_us"
+      (Sim.Cpu.now cpu -. barrier_started);
     Shoot_trace.record ctx ~code:Shoot_trace.c_barrier_done ~cpu:me ()
   end;
   let elapsed = Sim.Cpu.now cpu -. started in
@@ -438,6 +451,7 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
   if !shot_at > 0 then begin
     ctx.Pmap.shootdown_initiator_time <-
       ctx.Pmap.shootdown_initiator_time +. elapsed;
+    Sim.Cpu.prof_observe cpu ~name:"shoot/initiator_us" elapsed;
     Xpr.record ctx.Pmap.xpr ~code:Xpr.Shoot_initiator ~cpu:me
       ~timestamp:(Sim.Cpu.now cpu)
       ~arg1:(if pmap.Pmap.is_kernel then 1 else 0)
@@ -466,7 +480,7 @@ let hw_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges =
         (* one bus invalidation transaction per page (or one for a flush) *)
         let n = min pages params.tlb_flush_threshold in
         Sim.Cpu.raw_delay cpu (params.tlb_entry_invalidate_cost *. float_of_int n);
-        Sim.Bus.access ctx.Pmap.bus ~n ()
+        Sim.Bus.access ctx.Pmap.bus ~n ~who:(Sim.Cpu.id cpu) ()
       end)
     ctx.Pmap.cpus
 
@@ -497,7 +511,7 @@ let force_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges
         let n = min pages params.tlb_flush_threshold in
         Sim.Cpu.raw_delay cpu
           (params.tlb_entry_invalidate_cost *. float_of_int n);
-        Sim.Bus.access ctx.Pmap.bus ~n ()
+        Sim.Bus.access ctx.Pmap.bus ~n ~who:(Sim.Cpu.id cpu) ()
       end)
     targets
 
@@ -593,7 +607,11 @@ let with_update_ranges ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges
       in
       (* Phase 3: the pmap change itself. *)
       ctx.Pmap.shoot_phase.(me) <- "updating:" ^ pmap.Pmap.pname;
+      let update_started = Sim.Cpu.now cpu in
       update ();
+      if inconsistent then
+        Sim.Cpu.prof_observe cpu ~name:"shoot/update_us"
+          (Sim.Cpu.now cpu -. update_started);
       (* Recovery: responders the watchdog abandoned never acknowledged,
          so their TLBs may still hold the old mapping — destroy it
          directly while the pmap lock still serializes against reloads

@@ -55,7 +55,7 @@ let space_for t va = if Addr.is_kernel_addr va then t.kernel else t.user
    responders must stall while a pmap is updated (section 3). *)
 let writeback_refmod t (e : Tlb.entry) ~set_mod =
   if t.params.tlb_refmod_writeback then begin
-    Sim.Bus.access t.cpu.Sim.Cpu.bus ();
+    Sim.Bus.access t.cpu.Sim.Cpu.bus ~who:t.cpu.Sim.Cpu.id ();
     let stale = not e.pte.Page_table.valid || e.pte.Page_table.pfn <> e.pfn in
     if t.params.tlb_interlocked_refmod then begin
       (* MC88200-style: interlocked read-modify-write that checks mapping
@@ -80,13 +80,13 @@ let reload t sp vpn =
   match t.params.tlb_reload with
   | Sim.Params.Hardware_reload ->
       Sim.Cpu.raw_delay t.cpu t.params.ptw_cost;
-      Sim.Bus.access t.cpu.Sim.Cpu.bus ~n:2 ();
+      Sim.Bus.access t.cpu.Sim.Cpu.bus ~n:2 ~who:t.cpu.Sim.Cpu.id ();
       Page_table.lookup sp.pt vpn
   | Sim.Params.Software_reload -> (
       (* Trap to the kernel's reload handler; it may stall while the pmap
          is locked.  Roughly 4x the cost of a hardware walk. *)
       Sim.Cpu.raw_delay t.cpu (4.0 *. t.params.ptw_cost);
-      Sim.Bus.access t.cpu.Sim.Cpu.bus ~n:2 ();
+      Sim.Bus.access t.cpu.Sim.Cpu.bus ~n:2 ~who:t.cpu.Sim.Cpu.id ();
       match t.software_reload with
       | Some f -> f sp vpn
       | None -> Page_table.lookup sp.pt vpn)

@@ -1,0 +1,142 @@
+(* HDR-style log-bucketed histograms for the contention profiler.
+
+   Values land in geometrically growing buckets: bucket 0 is the
+   underflow bucket (values below [lo]), buckets 1..n cover
+   [lo * gamma^(i-1), lo * gamma^i), and bucket n+1 catches overflow.
+   Counts are integers, so merging histograms from independent trials is
+   exact and associative — the same property Metrics.merge relies on to
+   keep `--jobs N` reports byte-identical.
+
+   Quantiles are read by walking the cumulative counts and reporting the
+   upper bound of the bucket containing the rank, clamped to the observed
+   [min, max]; the relative error is bounded by gamma. *)
+
+type t = {
+  lo : float; (* lower bound of bucket 1 *)
+  gamma : float; (* bucket growth factor, > 1 *)
+  log_gamma : float;
+  nbuckets : int; (* log-spaced buckets, excluding under/overflow *)
+  counts : int array; (* nbuckets + 2: [0] underflow, [n+1] overflow *)
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+(* Defaults cover [0.5 us, 0.5 * 2^30 us) at 2^(1/4) resolution — from a
+   fraction of a bus transaction to minutes of simulated time, with a
+   worst-case quantile error of ~19%. *)
+let default_lo = 0.5
+let default_gamma = Float.pow 2.0 0.25
+let default_buckets = 120
+
+let create ?(lo = default_lo) ?(gamma = default_gamma)
+    ?(buckets = default_buckets) () =
+  if lo <= 0.0 then invalid_arg "Histogram.create: lo must be positive";
+  if gamma <= 1.0 then invalid_arg "Histogram.create: gamma must exceed 1";
+  if buckets < 1 then invalid_arg "Histogram.create: need at least one bucket";
+  {
+    lo;
+    gamma;
+    log_gamma = Float.log gamma;
+    nbuckets = buckets;
+    counts = Array.make (buckets + 2) 0;
+    n = 0;
+    sum = 0.0;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+let same_shape a b =
+  a.lo = b.lo && a.gamma = b.gamma && a.nbuckets = b.nbuckets
+
+(* Bucket index for a value; total order over the reals, NaN-free inputs
+   assumed (the profiler only observes simulated durations and depths). *)
+let bucket_index t v =
+  if v < t.lo then 0
+  else
+    let i =
+      1 + int_of_float (Float.floor (Float.log (v /. t.lo) /. t.log_gamma))
+    in
+    if i < 1 then 1 else if i > t.nbuckets then t.nbuckets + 1 else i
+
+(* [lower, upper) bounds of a bucket. *)
+let bucket_bounds t i =
+  if i <= 0 then (neg_infinity, t.lo)
+  else if i > t.nbuckets then
+    (t.lo *. Float.pow t.gamma (float_of_int t.nbuckets), infinity)
+  else
+    ( t.lo *. Float.pow t.gamma (float_of_int (i - 1)),
+      t.lo *. Float.pow t.gamma (float_of_int i) )
+
+let observe t v =
+  t.counts.(bucket_index t v) <- t.counts.(bucket_index t v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+let min_value t = if t.n = 0 then nan else t.vmin
+let max_value t = if t.n = 0 then nan else t.vmax
+
+let merge ~into src =
+  if not (same_shape into src) then
+    invalid_arg "Histogram.merge: incompatible bucket layouts";
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.n <- into.n + src.n;
+  into.sum <- into.sum +. src.sum;
+  if src.vmin < into.vmin then into.vmin <- src.vmin;
+  if src.vmax > into.vmax then into.vmax <- src.vmax
+
+(* Upper bound of the bucket holding the q-quantile rank, clamped to the
+   observed range so empty tails cannot inflate the estimate. *)
+let quantile t q =
+  if t.n = 0 then nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank =
+      Float.max 1.0 (Float.round (q *. float_of_int t.n))
+      |> int_of_float
+    in
+    let i = ref 0 in
+    let seen = ref 0 in
+    (try
+       for b = 0 to t.nbuckets + 1 do
+         seen := !seen + t.counts.(b);
+         if !seen >= rank then begin
+           i := b;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let _, upper = bucket_bounds t !i in
+    Float.max t.vmin (Float.min upper t.vmax)
+  end
+
+let to_json t =
+  let buckets =
+    let acc = ref [] in
+    for b = t.nbuckets + 1 downto 0 do
+      if t.counts.(b) > 0 then begin
+        let _, upper = bucket_bounds t b in
+        acc :=
+          Json.Obj
+            [ ("le", Json.Float upper); ("count", Json.Int t.counts.(b)) ]
+          :: !acc
+      end
+    done;
+    !acc
+  in
+  Json.Obj
+    [
+      ("n", Json.Int t.n);
+      ("mean", Json.Float (mean t));
+      ("min", Json.Float (min_value t));
+      ("max", Json.Float (max_value t));
+      ("p50", Json.Float (quantile t 0.50));
+      ("p90", Json.Float (quantile t 0.90));
+      ("p99", Json.Float (quantile t 0.99));
+      ("buckets", Json.List buckets);
+    ]

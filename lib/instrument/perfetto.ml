@@ -1,0 +1,100 @@
+(* Chrome trace-event export of the span stream.
+
+   Renders an Instrument.Trace buffer as the JSON object format that
+   Perfetto (https://ui.perfetto.dev) and chrome://tracing load: one
+   thread track per CPU plus a "global" track for spans not attributable
+   to one CPU (cpu = -1).  Spans with a duration become complete ("X")
+   events; instants become "i" events with thread scope.  Timestamps are
+   already simulated microseconds, which is exactly the unit the format
+   expects.
+
+   Events are sorted by start time across the whole stream, so the [ts]
+   sequence is monotonic per track — what the schema test checks and
+   what keeps big traces quick to load. *)
+
+let pid = 1
+
+(* The prefix before the first '.' of the span name groups related events
+   ("initiator", "responder", "prof", "tlb", ...). *)
+let category_of name =
+  match String.index_opt name '.' with
+  | Some i when i > 0 -> String.sub name 0 i
+  | _ -> "span"
+
+let args_of attrs =
+  match attrs with
+  | [] -> []
+  | attrs ->
+      [
+        ( "args",
+          Json.Obj
+            (List.map (fun (k, v) -> (k, Trace.value_to_json v)) attrs) );
+      ]
+
+let metadata ~name ~tid fields =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("ph", Json.Str "M");
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+     ]
+    @ [ ("args", Json.Obj fields) ])
+
+let event ~tid (s : Trace.span) =
+  let common =
+    [
+      ("name", Json.Str s.Trace.name);
+      ("cat", Json.Str (category_of s.Trace.name));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("ts", Json.Float s.Trace.at);
+    ]
+  in
+  let shape =
+    if s.Trace.dur > 0.0 then
+      [ ("ph", Json.Str "X"); ("dur", Json.Float s.Trace.dur) ]
+    else [ ("ph", Json.Str "i"); ("s", Json.Str "t") ]
+  in
+  Json.Obj (common @ shape @ args_of s.Trace.attrs)
+
+let to_json ?(process_name = "tlbshoot sim") tr =
+  let spans =
+    List.stable_sort
+      (fun a b -> compare a.Trace.at b.Trace.at)
+      (Trace.spans tr)
+  in
+  let max_cpu =
+    List.fold_left (fun m s -> Stdlib.max m s.Trace.cpu) (-1) spans
+  in
+  let global_tid = max_cpu + 1 in
+  let tid_of s = if s.Trace.cpu >= 0 then s.Trace.cpu else global_tid in
+  let has_global = List.exists (fun s -> s.Trace.cpu < 0) spans in
+  let names =
+    metadata ~name:"process_name" ~tid:0
+      [ ("name", Json.Str process_name) ]
+    :: List.init (max_cpu + 1) (fun cpu ->
+           metadata ~name:"thread_name" ~tid:cpu
+             [ ("name", Json.Str (Printf.sprintf "cpu %d" cpu)) ])
+    @
+    if has_global then
+      [
+        metadata ~name:"thread_name" ~tid:global_tid
+          [ ("name", Json.Str "global") ];
+      ]
+    else []
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (names @ List.map (fun s -> event ~tid:(tid_of s) s) spans)
+      );
+      ( "otherData",
+        Json.Obj
+          [
+            ("emitted", Json.Int (Trace.emitted tr));
+            ("dropped", Json.Int (Trace.dropped tr));
+          ] );
+    ]
+
+let to_string ?process_name tr = Json.to_string (to_json ?process_name tr)

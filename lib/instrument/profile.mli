@@ -1,0 +1,75 @@
+(** Per-CPU simulated-time attribution for the contention profiler.
+
+    Hooks in [Sim.Cpu], [Sim.Bus], [Sim.Spinlock] and [Core.Shootdown]
+    classify every clock advance into a {!category}; whatever no hook
+    sees (blocked or idle coroutines) is the [idle] remainder.  Named
+    {!Histogram}s for lock wait/hold, bus queue depth, IPI latency and
+    shootdown phases ride along.  Both merge exactly across trials, so
+    `--jobs N` sweeps stay deterministic (docs/PROFILING.md). *)
+
+type category =
+  | Compute  (** attributed clock advances outside any bracketed region *)
+  | Lock_spin  (** spinning on a held [Sim.Spinlock] *)
+  | Ack_wait  (** shootdown barrier: waiting on acks / the pmap lock *)
+  | Bus_wait  (** queueing + service on the shared bus *)
+  | Intr_dispatch  (** interrupt vectoring, handler service, return *)
+  | Queue_drain  (** executing queued consistency actions *)
+
+val categories : category list
+(** In report order. *)
+
+val category_name : category -> string
+
+type t
+
+val create : ncpus:int -> unit -> t
+val ncpus : t -> int
+
+val set_tracer : t -> Trace.t option -> unit
+(** When set, every {!leave} also emits a ["prof.<category>"] span
+    covering the region, for the Perfetto timeline. *)
+
+val enter : t -> cpu:int -> at:float -> category -> unit
+(** Push a region: subsequent {!account} calls on [cpu] charge it. *)
+
+val leave : t -> cpu:int -> at:float -> unit
+(** Pop the innermost region (no-op on an empty stack). *)
+
+val current : t -> cpu:int -> category
+(** Top of the stack; [Compute] when empty. *)
+
+val account : t -> cpu:int -> float -> unit
+(** Charge a clock advance to the current category of [cpu]. *)
+
+val account_as : t -> cpu:int -> category -> float -> unit
+(** Charge a clock advance to a fixed category, bypassing the stack
+    (how [Sim.Bus] charges stalls to [Bus_wait]). *)
+
+val observe : t -> name:string -> float -> unit
+(** Record a sample into the named histogram, creating it on first use. *)
+
+val histogram : t -> name:string -> Histogram.t option
+
+val get : t -> cpu:int -> category -> float
+val attributed : t -> cpu:int -> float
+(** Sum of all category buckets for one CPU. *)
+
+val category_total : t -> category -> float
+val attributed_total : t -> float
+
+val set_total : t -> float -> unit
+(** Record the per-CPU simulated time span (engine time at the end of the
+    run); {!merge} sums it across trials. *)
+
+val total : t -> float
+
+val idle : t -> cpu:int -> float
+(** [total - attributed]: simulated time the hooks never saw. *)
+
+val merge : into:t -> t -> unit
+(** Element-wise exact merge of buckets, totals and histograms.
+    @raise Invalid_argument when the CPU counts differ. *)
+
+val to_json : t -> Json.t
+(** Schema ["tlbshoot-profile-v1"]: per-CPU and total buckets (including
+    the idle remainder) plus the named histograms, sorted by name. *)

@@ -20,13 +20,33 @@ type span = {
 }
 
 type t = {
-  mutable spans : span list; (* newest first *)
-  mutable count : int;
+  cap : int option; (* ring-buffer bound; None = unbounded *)
+  mutable ring : span array; (* allocated on first emit in ring mode *)
+  mutable head : int; (* next write slot of the ring *)
+  mutable stored : int; (* spans currently retained *)
+  mutable spans : span list; (* unbounded mode, newest first *)
+  mutable count : int; (* total emitted, including dropped *)
+  mutable dropped : int; (* overwritten by the ring *)
   mutable enabled : bool;
   mutable sink : (span -> unit) option; (* streaming consumer *)
 }
 
-let create () = { spans = []; count = 0; enabled = true; sink = None }
+let create ?cap () =
+  (match cap with
+  | Some c when c < 1 -> invalid_arg "Trace.create: cap must be positive"
+  | _ -> ());
+  {
+    cap;
+    ring = [||];
+    head = 0;
+    stored = 0;
+    spans = [];
+    count = 0;
+    dropped = 0;
+    enabled = true;
+    sink = None;
+  }
+
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
 let is_enabled t = t.enabled
@@ -35,17 +55,42 @@ let set_sink t sink = t.sink <- sink
 let emit t ~name ~cpu ~at ?(dur = 0.0) ?(attrs = []) () =
   if t.enabled then begin
     let s = { name; cpu; at; dur; attrs } in
-    t.spans <- s :: t.spans;
+    (match t.cap with
+    | None ->
+        t.spans <- s :: t.spans;
+        t.stored <- t.stored + 1
+    | Some c ->
+        if Array.length t.ring = 0 then t.ring <- Array.make c s;
+        (* At capacity the oldest span is overwritten, not the newest:
+           the tail of a long run is what the timeline views need. *)
+        if t.stored = c then t.dropped <- t.dropped + 1
+        else t.stored <- t.stored + 1;
+        t.ring.(t.head) <- s;
+        t.head <- (t.head + 1) mod c);
     t.count <- t.count + 1;
     match t.sink with Some f -> f s | None -> ()
   end
 
-let length t = t.count
-let spans t = List.rev t.spans
+let length t = t.stored
+let emitted t = t.count
+let dropped t = t.dropped
+
+let spans t =
+  match t.cap with
+  | None -> List.rev t.spans
+  | Some c ->
+      if t.stored = 0 then []
+      else
+        let start = (t.head - t.stored + (2 * c)) mod c in
+        List.init t.stored (fun i -> t.ring.((start + i) mod c))
 
 let reset t =
   t.spans <- [];
-  t.count <- 0
+  t.ring <- [||];
+  t.head <- 0;
+  t.stored <- 0;
+  t.count <- 0;
+  t.dropped <- 0
 
 (* ------------------------------------------------------------------ *)
 (* Rendering *)
@@ -112,3 +157,15 @@ let span_to_json s =
         [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) attrs)) ])
 
 let to_json t = Json.List (List.map span_to_json (spans t))
+
+(* The span report of `tlbshoot trace --json`: the retained spans plus
+   the emitted/dropped counters a capped buffer needs to be read
+   honestly (docs/OBSERVABILITY.md). *)
+let report_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str "tlbshoot-spans-v1");
+      ("emitted", Json.Int t.count);
+      ("dropped", Json.Int t.dropped);
+      ("spans", to_json t);
+    ]

@@ -17,7 +17,12 @@ type span = {
 
 type t
 
-val create : unit -> t
+val create : ?cap:int -> unit -> t
+(** [cap] bounds the buffer to a ring of that many spans: once full, each
+    new span overwrites the oldest and {!dropped} counts the loss.
+    Unbounded by default.
+    @raise Invalid_argument when [cap < 1]. *)
+
 val enable : t -> unit
 val disable : t -> unit
 val is_enabled : t -> bool
@@ -37,9 +42,16 @@ val emit :
   unit
 
 val length : t -> int
+(** Spans currently retained. *)
+
+val emitted : t -> int
+(** Total spans emitted, including any since dropped by the ring. *)
+
+val dropped : t -> int
+(** Spans overwritten by a capped buffer ([0] when unbounded). *)
 
 val spans : t -> span list
-(** In emission order. *)
+(** Retained spans in emission order (the oldest retained first). *)
 
 val reset : t -> unit
 
@@ -51,4 +63,10 @@ val render : t -> string
 
 val value_to_json : value -> Json.t
 val span_to_json : span -> Json.t
+
 val to_json : t -> Json.t
+(** The retained spans as a JSON array. *)
+
+val report_json : t -> Json.t
+(** Schema ["tlbshoot-spans-v1"]: the {!to_json} array wrapped with the
+    [emitted]/[dropped] counters (see docs/OBSERVABILITY.md). *)

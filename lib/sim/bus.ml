@@ -13,6 +13,8 @@ type t = {
   mutable transactions : int;
   mutable total_wait : float; (* accumulated queueing delay *)
   mutable total_busy : float; (* accumulated service time *)
+  mutable profile : Instrument.Profile.t option;
+      (* contention profiler; None (and cost-free) unless attached *)
 }
 
 let create eng (params : Params.t) =
@@ -23,11 +25,16 @@ let create eng (params : Params.t) =
     transactions = 0;
     total_wait = 0.0;
     total_busy = 0.0;
+    profile = None;
   }
 
+let set_profile t profile = t.profile <- profile
+
 (* Perform [n] back-to-back transactions; the caller's coroutine is delayed
-   for queueing plus service time. *)
-let access t ?(n = 1) () =
+   for queueing plus service time.  [who] is the issuing CPU, for the
+   profiler's Bus_wait attribution; pass -1 (the default) for traffic not
+   chargeable to one CPU. *)
+let access t ?(n = 1) ?(who = -1) () =
   if n > 0 then begin
     let now = Engine.now t.eng in
     let start = if t.busy_until > now then t.busy_until else now in
@@ -36,6 +43,16 @@ let access t ?(n = 1) () =
     t.transactions <- t.transactions + n;
     t.total_wait <- t.total_wait +. (start -. now);
     t.total_busy <- t.total_busy +. service;
+    (match t.profile with
+    | Some prof ->
+        (* The full stall — queueing plus service — is bus time for the
+           issuer; the queue depth seen at enqueue is the congestion
+           signal behind the Figure-2 knee. *)
+        Instrument.Profile.account_as prof ~cpu:who Instrument.Profile.Bus_wait
+          (t.busy_until -. now);
+        Instrument.Profile.observe prof ~name:"bus/queue_depth"
+          ((start -. now) /. t.service)
+    | None -> ());
     Engine.delay (t.busy_until -. now)
   end
 

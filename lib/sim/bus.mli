@@ -7,9 +7,16 @@ type t
 
 val create : Engine.t -> Params.t -> t
 
-val access : t -> ?n:int -> unit -> unit
-(** [access t ~n ()] performs [n] transactions from the calling coroutine,
-    delaying it for queueing plus service time. *)
+val access : t -> ?n:int -> ?who:int -> unit -> unit
+(** [access t ~n ~who ()] performs [n] transactions from the calling
+    coroutine, delaying it for queueing plus service time.  [who] is the
+    issuing CPU for the profiler's Bus_wait attribution (default -1:
+    unattributed). *)
+
+val set_profile : t -> Instrument.Profile.t option -> unit
+(** Attach the contention profiler: every {!access} charges its stall to
+    the issuer's Bus_wait bucket and records the queue depth seen at
+    enqueue.  One branch of cost while [None]. *)
 
 val post_async : t -> n:int -> unit
 (** Consume bandwidth without blocking the caller (DMA-like traffic). *)

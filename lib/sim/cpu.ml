@@ -27,11 +27,32 @@ type t = {
   mutable spin_time : float;
   mutable store_backlog : float; (* fractional store-traffic accumulator *)
   mutable note : string; (* diagnostic: what this CPU is currently doing *)
+  mutable profile : Instrument.Profile.t option;
+      (* contention profiler; None (and cost-free) unless attached *)
 }
 
 let id t = t.id
 let now t = Engine.now t.eng
 let params t = t.params
+
+(* Contention-profiler brackets and samples, for this module and the
+   layers above (Spinlock, the shootdown algorithm).  Each is one branch
+   of cost while no profiler is attached — the same contract as
+   tracing. *)
+let prof_enter t cat =
+  match t.profile with
+  | Some prof -> Instrument.Profile.enter prof ~cpu:t.id ~at:(now t) cat
+  | None -> ()
+
+let prof_leave t =
+  match t.profile with
+  | Some prof -> Instrument.Profile.leave prof ~cpu:t.id ~at:(now t)
+  | None -> ()
+
+let prof_observe t ~name v =
+  match t.profile with
+  | Some prof -> Instrument.Profile.observe prof ~name v
+  | None -> ()
 
 (* Multiplicative cost noise; models cycle-level nondeterminism. *)
 let jittered t cost =
@@ -43,6 +64,9 @@ let jittered t cost =
 let raw_delay t cost =
   let cost = jittered t cost in
   t.busy_time <- t.busy_time +. cost;
+  (match t.profile with
+  | Some prof -> Instrument.Profile.account prof ~cpu:t.id cost
+  | None -> ());
   Engine.delay cost
 
 (* Advance time interruptibly: if an interrupt is posted mid-sleep, the
@@ -68,6 +92,18 @@ let rec check_interrupts t =
         let was_in_interrupt = t.in_interrupt in
         t.in_interrupt <- true;
         t.interrupts_taken <- t.interrupts_taken + 1;
+        (match t.profile with
+        | Some prof ->
+            (* Delivery latency runs from the line being raised at this
+               CPU (earliest post when coalesced) to dispatch. *)
+            (match p.kind with
+            | Interrupt.Shootdown ->
+                Instrument.Profile.observe prof ~name:"ipi/delivery_us"
+                  (Engine.now t.eng -. p.posted_at)
+            | Interrupt.Device -> ());
+            Instrument.Profile.enter prof ~cpu:t.id ~at:(Engine.now t.eng)
+              Instrument.Profile.Intr_dispatch
+        | None -> ());
         (* Injected responder stall: the interrupt was taken but the CPU
            sits in an overlong masked section before servicing it — the
            section 6 worry about device-level interrupt disablement. *)
@@ -80,11 +116,12 @@ let rec check_interrupts t =
         (* Vectoring plus register save; the save is a burst of writes
            through the write-through cache onto the bus. *)
         raw_delay t t.params.intr_dispatch_cost;
-        Bus.access t.bus ~n:t.params.intr_dispatch_bus_writes ();
+        Bus.access t.bus ~n:t.params.intr_dispatch_bus_writes ~who:t.id ();
         (match p.kind with
         | Interrupt.Shootdown -> t.shootdown_handler t
         | Interrupt.Device -> t.device_handler t);
         raw_delay t t.params.intr_return_cost;
+        prof_leave t;
         t.in_interrupt <- was_in_interrupt;
         t.ipl <- saved_ipl;
         (* Lowering the level may expose further pending interrupts. *)
@@ -129,6 +166,7 @@ let create eng bus (params : Params.t) ~id =
     spin_time = 0.0;
     store_backlog = 0.0;
     note = "boot";
+    profile = None;
   }
 
 (* Post an interrupt to this CPU (from any coroutine).  If the CPU is in an
@@ -136,7 +174,7 @@ let create eng bus (params : Params.t) ~id =
    short so it is noticed immediately. *)
 let really_post t kind =
   let level = Interrupt.level_of t.params kind in
-  Interrupt.post t.ctl { kind; level };
+  Interrupt.post t.ctl { kind; level; posted_at = Engine.now t.eng };
   if level > t.ipl then
     match t.sleeper with
     | Some w -> Engine.wake t.eng w
@@ -175,6 +213,9 @@ let step t cost =
       if elapsed <= 0.0 then () (* below clock resolution: done *)
       else begin
       t.busy_time <- t.busy_time +. elapsed;
+      (match t.profile with
+      | Some prof -> Instrument.Profile.account prof ~cpu:t.id elapsed
+      | None -> ());
       (* Write-through stores from this computation occupy the shared bus
          (without stalling us): the source of multi-CPU congestion. *)
       t.store_backlog <-
@@ -197,7 +238,8 @@ let spin_poll t =
   check_interrupts t;
   let t0 = now t in
   raw_delay t t.params.spin_poll;
-  if Prng.float t.prng < t.params.spin_miss_rate then Bus.access t.bus ();
+  if Prng.float t.prng < t.params.spin_miss_rate then
+    Bus.access t.bus ~who:t.id ();
   t.spin_time <- t.spin_time +. (now t -. t0)
 
 (* Spin with interrupts implicitly disabled (no [check_interrupts]); used
@@ -205,7 +247,8 @@ let spin_poll t =
 let spin_poll_masked t =
   let t0 = now t in
   raw_delay t t.params.spin_poll;
-  if Prng.float t.prng < t.params.spin_miss_rate then Bus.access t.bus ();
+  if Prng.float t.prng < t.params.spin_miss_rate then
+    Bus.access t.bus ~who:t.id ();
   t.spin_time <- t.spin_time +. (now t -. t0)
 
 let set_ipl t level =

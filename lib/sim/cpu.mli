@@ -31,6 +31,8 @@ type t = {
   mutable store_backlog : float;
       (** fractional accumulator for background store traffic *)
   mutable note : string;  (** diagnostic: current activity label *)
+  mutable profile : Instrument.Profile.t option;
+      (** contention profiler; [None] (and cost-free) unless attached *)
 }
 
 val create : Engine.t -> Bus.t -> Params.t -> id:int -> t
@@ -86,3 +88,19 @@ val default_device_handler : t -> unit
 
 val interruptible_sleep : t -> float -> unit
 (** Sleep up to [dt], returning early if an interrupt is posted. *)
+
+(** {1 Contention-profiler hooks}
+
+    Each is one branch of cost while no profiler is attached (the same
+    contract as tracing); the layers above use them to bracket lock
+    spins, barrier waits and queue drains — see docs/PROFILING.md. *)
+
+val prof_enter : t -> Instrument.Profile.category -> unit
+(** Push an attribution region on this CPU's profiler stack. *)
+
+val prof_leave : t -> unit
+(** Pop the innermost region (emitting a timeline slice when the
+    profiler carries a tracer). *)
+
+val prof_observe : t -> name:string -> float -> unit
+(** Record a sample into the profiler's named histogram. *)

@@ -23,7 +23,12 @@ let level_of (params : Params.t) = function
   | Device -> ipl_device
   | Shootdown -> if params.high_priority_shootdown then ipl_high - 1 else ipl_vm
 
-type pending = { kind : kind; level : level }
+type pending = {
+  kind : kind;
+  level : level;
+  posted_at : float; (* when the line was raised; feeds the profiler's
+                        IPI delivery-latency histogram *)
+}
 
 (* A tiny pending set: at most one entry per kind is kept, matching real
    interrupt controllers where a posted-but-undelivered interrupt line does

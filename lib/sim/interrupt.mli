@@ -21,7 +21,14 @@ type kind = Shootdown | Device
 val level_of : Params.t -> kind -> level
 (** Delivery level of an interrupt kind under the given parameters. *)
 
-type pending = { kind : kind; level : level }
+type pending = {
+  kind : kind;
+  level : level;
+  posted_at : float;
+      (** when the line was raised; a coalesced re-post keeps the
+          earliest, so delivery latency is measured from the first
+          raise *)
+}
 
 type controller
 (** At most one pending entry per kind, like a real interrupt line. *)

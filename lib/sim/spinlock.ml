@@ -13,10 +13,12 @@ type t = {
   mutable holder : int; (* CPU id, or -1 when free *)
   mutable acquisitions : int;
   mutable contentions : int;
+  mutable acquired_at : float; (* when the current holder took the lock *)
 }
 
 let create ?(level = Interrupt.ipl_vm) name =
-  { name; level; holder = -1; acquisitions = 0; contentions = 0 }
+  { name; level; holder = -1; acquisitions = 0; contentions = 0;
+    acquired_at = 0.0 }
 
 let is_locked t = t.holder >= 0
 let holder t = if t.holder >= 0 then Some t.holder else None
@@ -32,6 +34,8 @@ let acquire t (cpu : Cpu.t) =
                    t.name (Cpu.id cpu));
   cpu.Cpu.note <- "acquire:" ^ t.name;
   let contended = ref false in
+  let wait_started = Cpu.now cpu in
+  Cpu.prof_enter cpu Instrument.Profile.Lock_spin;
   (* No effect is performed between the final emptiness check and taking
      ownership, so the test-and-set below is atomic in simulated time. *)
   let rec wait () =
@@ -43,12 +47,15 @@ let acquire t (cpu : Cpu.t) =
     else t.holder <- Cpu.id cpu
   in
   wait ();
+  Cpu.prof_leave cpu;
+  Cpu.prof_observe cpu ~name:"lock/wait_us" (Cpu.now cpu -. wait_started);
+  t.acquired_at <- Cpu.now cpu;
   cpu.Cpu.note <- "holding:" ^ t.name;
   if !contended then t.contentions <- t.contentions + 1;
   t.acquisitions <- t.acquisitions + 1;
   (* Cost of the interlocked test-and-set that succeeded. *)
   Cpu.raw_delay cpu (Cpu.params cpu).Params.lock_cost;
-  Bus.access cpu.Cpu.bus ();
+  Bus.access cpu.Cpu.bus ~who:(Cpu.id cpu) ();
   (* Injected lock-holder preemption: the holder keeps the lock but stops
      making progress, stretching the critical section while every
      contender spins at raised IPL. *)
@@ -64,8 +71,9 @@ let release t (cpu : Cpu.t) ~saved_ipl =
   if t.holder <> Cpu.id cpu then
     invalid_arg (Printf.sprintf "Spinlock.release: %s not held by cpu%d"
                    t.name (Cpu.id cpu));
+  Cpu.prof_observe cpu ~name:"lock/hold_us" (Cpu.now cpu -. t.acquired_at);
   Cpu.raw_delay cpu (Cpu.params cpu).Params.lock_cost;
-  Bus.access cpu.Cpu.bus ();
+  Bus.access cpu.Cpu.bus ~who:(Cpu.id cpu) ();
   t.holder <- -1;
   Cpu.restore_ipl cpu saved_ipl
 

@@ -205,6 +205,17 @@ let with_kernel_batch t self f =
   end
   else f None
 
+(* Attach a contention profiler: every CPU and the bus start classifying
+   their simulated-time advances into the profiler's buckets.  Attaching
+   changes no simulated behaviour — the hooks add zero simulated cost and
+   draw nothing from any PRNG — so a profiled run stays byte-identical to
+   an unprofiled one. *)
+let attach_profile t profile =
+  Array.iter
+    (fun (cpu : Sim.Cpu.t) -> cpu.Sim.Cpu.profile <- Some profile)
+    t.cpus;
+  Sim.Bus.set_profile t.bus (Some profile)
+
 (* Total busy CPU time, for overhead percentages. *)
 let total_busy_time t =
   Array.fold_left (fun acc (c : Sim.Cpu.t) -> acc +. c.Sim.Cpu.busy_time) 0.0 t.cpus

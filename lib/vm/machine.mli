@@ -37,5 +37,12 @@ val with_kernel_batch :
     [Params.batch_shootdowns] is set ([f None] otherwise), finishing the
     batch — one coalesced shootdown round — on the way out. *)
 
+val attach_profile : t -> Instrument.Profile.t -> unit
+(** Attach a contention profiler to every CPU and the bus.  The profiler
+    must have been created with [~ncpus] equal to this machine's CPU
+    count.  Attachment is behaviour-neutral: the hooks add no simulated
+    cost and draw nothing from any PRNG, so results stay byte-identical
+    to an unprofiled run. *)
+
 val total_busy_time : t -> float
 (** Sum of per-CPU busy time, for overhead percentages. *)

@@ -188,9 +188,9 @@ let test_bus_idle_no_queue () =
 (* Interrupt controller edge cases (pure bookkeeping, no engine) *)
 
 let shoot_pending p =
-  { Sim.Interrupt.kind = Sim.Interrupt.Shootdown; level = p }
+  { Sim.Interrupt.kind = Sim.Interrupt.Shootdown; level = p; posted_at = 0.0 }
 
-let dev_pending p = { Sim.Interrupt.kind = Sim.Interrupt.Device; level = p }
+let dev_pending p = { Sim.Interrupt.kind = Sim.Interrupt.Device; level = p; posted_at = 0.0 }
 
 let test_deliverable_strictly_above_ipl () =
   (* an interrupt at exactly the current IPL is masked: delivery needs
