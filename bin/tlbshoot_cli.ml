@@ -11,6 +11,8 @@
      tlbshoot trace [--workload tester] [--children 4] [--scale 10]
                     [--json] [--perfetto out.json]
      tlbshoot profile [--runs 10] [--max-procs 15] [--jobs N] [--json]
+     tlbshoot scale1024 [--runs 3] [--full] [--cluster-size 16] [--jobs N]
+                        [--json]
      tlbshoot all [--scale 100] [--jobs N]
 
    --jobs fans independent trials over that many OCaml domains through
@@ -165,6 +167,24 @@ let print_profile ~jobs ~runs ~max_procs ~emit_json =
     print_string (Instrument.Json.to_string (Experiments.Knee.to_json k))
   else print_string (Experiments.Knee.render k);
   if not (Experiments.Knee.knee_holds k) then exit 1
+
+(* The hierarchical scale sweep (docs/TOPOLOGY.md): Figure 2 at
+   4..1024 CPUs on a clustered machine, with the numaPTE-style
+   cluster-targeted-shootdown ablation.  Exits 1 unless the gate holds
+   (CI/nightly gate). *)
+let print_scale1024 ~jobs ~runs ~full ~cluster_size ~emit_json =
+  let scales =
+    if full then Experiments.Scale1024.full_scales
+    else Experiments.Scale1024.quick_scales
+  in
+  let s =
+    Experiments.Scale1024.run ~jobs ~scales ~runs_per_point:runs ~cluster_size
+      ()
+  in
+  if emit_json then
+    print_string (Instrument.Json.to_string (Experiments.Scale1024.to_json s))
+  else print_string (Experiments.Scale1024.render s);
+  if not (Experiments.Scale1024.gate_holds s) then exit 1
 
 let print_all ~jobs ~scale ~runs =
   print_figure2 ~jobs ~runs ~max_procs:15;
@@ -343,6 +363,39 @@ let profile_cmd =
           print_profile ~jobs ~runs ~max_procs ~emit_json)
       $ jobs_arg $ runs_arg $ max_procs_arg $ json_arg)
 
+let scale1024_cmd =
+  let runs_arg =
+    Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Runs per scale point.")
+  in
+  let full_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Sweep the full 4..1024-CPU ladder (nightly); default is the \
+             quick 4/16/64/256 gate.")
+  in
+  let cluster_size_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "cluster-size" ] ~doc:"CPUs per cluster bus.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the sweep as a JSON report (tlbshoot-scale-v1).")
+  in
+  cmd "scale1024"
+    "Run the Figure 2 sweep on a hierarchical 64-1024-CPU NUMA machine \
+     and compare against the paper's 430 us + 55 us/processor \
+     extrapolation (exits 1 unless the super-linear-deviation and \
+     cluster-targeted-shootdown gates hold)"
+    Term.(
+      const (fun jobs runs full cluster_size emit_json ->
+          print_scale1024 ~jobs ~runs ~full ~cluster_size ~emit_json)
+      $ jobs_arg $ runs_arg $ full_arg $ cluster_size_arg $ json_arg)
+
 let all_cmd =
   cmd "all" "Run every experiment"
     Term.(
@@ -372,6 +425,7 @@ let () =
         tester_cmd;
         trace_cmd;
         profile_cmd;
+        scale1024_cmd;
         all_cmd;
       ]
   in

@@ -195,7 +195,8 @@ let responder ctx (cpu : Sim.Cpu.t) =
        with &&; the prose of phases 2-4 and the production sources require
        ||, which is what we implement — see DESIGN.md.) *)
     ctx.Pmap.active.(id) <- false;
-    Sim.Bus.access ctx.Pmap.bus ~who:id ();
+    (* the active set is kernel shared state, homed on node 0 *)
+    Sim.Bus.access ctx.Pmap.bus ~who:id ~home:0 ();
     cpu.Sim.Cpu.note <- "responder-spin";
     Shoot_trace.record ctx ~code:Shoot_trace.c_resp_ack ~cpu:id ();
     if responder_must_stall ctx.Pmap.params then begin
@@ -209,7 +210,7 @@ let responder ctx (cpu : Sim.Cpu.t) =
     Shoot_trace.record ctx ~code:Shoot_trace.c_resp_drain ~cpu:id ();
     if process_queued_actions ctx cpu then touched_kernel := true;
     ctx.Pmap.active.(id) <- was_active;
-    Sim.Bus.access ctx.Pmap.bus ~who:id ()
+    Sim.Bus.access ctx.Pmap.bus ~who:id ~home:0 ()
   done;
   ctx.Pmap.shoot_phase.(id) <- "responded";
   if !did_work then
@@ -272,21 +273,53 @@ let send_ipis ctx (cpu : Sim.Cpu.t) targets =
       List.iter
         (fun target ->
           Sim.Cpu.raw_delay cpu params.ipi_send_cost;
-          Sim.Bus.access ctx.Pmap.bus ~who:me ();
+          Sim.Bus.access ctx.Pmap.bus ~who:me ~home:(Sim.Cpu.id target) ();
           ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + 1;
           post target)
         targets
   | Sim.Params.Multicast ->
-      if targets <> [] then begin
-        Sim.Cpu.raw_delay cpu params.ipi_send_cost;
-        Sim.Bus.access ctx.Pmap.bus ~who:me ();
-        ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + List.length targets;
-        List.iter post targets
-      end
+      if targets <> [] then
+        if Sim.Bus.clustered ctx.Pmap.bus then begin
+          (* Cluster-targeted shootdown: one multicast bus operation per
+             cluster that actually holds a target, so nodes where the pmap
+             is not resident see no interrupt traffic at all.  The delivery
+             order within each cluster preserves the flat target order. *)
+          let bus = ctx.Pmap.bus in
+          let groups = Array.make (Sim.Bus.clusters bus) [] in
+          List.iter
+            (fun target ->
+              let c = Sim.Bus.cluster_of_cpu bus (Sim.Cpu.id target) in
+              groups.(c) <- target :: groups.(c))
+            targets;
+          Array.iter
+            (fun group ->
+              match List.rev group with
+              | [] -> ()
+              | first :: _ as group ->
+                  Sim.Cpu.raw_delay cpu params.ipi_send_cost;
+                  Sim.Bus.access bus ~who:me ~home:(Sim.Cpu.id first) ();
+                  ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + List.length group;
+                  List.iter post group)
+            groups
+        end
+        else begin
+          Sim.Cpu.raw_delay cpu params.ipi_send_cost;
+          Sim.Bus.access ctx.Pmap.bus ~who:me ();
+          ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + List.length targets;
+          List.iter post targets
+        end
   | Sim.Params.Broadcast ->
       if targets <> [] then begin
         Sim.Cpu.raw_delay cpu params.ipi_send_cost;
-        Sim.Bus.access ctx.Pmap.bus ~who:me ();
+        let bus = ctx.Pmap.bus in
+        if Sim.Bus.clustered bus then
+          (* a broadcast must reach every node: one bus operation per
+             cluster, resident or not — the cost the targeted mode avoids *)
+          for c = 0 to Sim.Bus.clusters bus - 1 do
+            Sim.Bus.access bus ~who:me ~home:(Sim.Bus.home_cpu bus ~cluster:c)
+              ()
+          done
+        else Sim.Bus.access bus ~who:me ();
         (* every other CPU is interrupted, wanted or not *)
         Array.iter
           (fun (target : Sim.Cpu.t) ->
@@ -365,8 +398,9 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
                    { space = pmap.Pmap.space_id; lo; hi });
               ctx.Pmap.action_needed.(oid) <- true;
               Sim.Cpu.raw_delay cpu params.queue_action_cost;
-              (* the action record and flag are uncached remote writes *)
-              Sim.Bus.access ctx.Pmap.bus ~n:4 ~who:me ())
+              (* the action record and flag are uncached remote writes,
+                 homed on the responder's node *)
+              Sim.Bus.access ctx.Pmap.bus ~n:4 ~who:me ~home:oid ())
             ranges;
           Shoot_trace.record ctx ~code:Shoot_trace.c_queue_action ~cpu:me
             ~arg2:oid ();
@@ -424,7 +458,7 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
                 Shoot_trace.record ctx ~code:Shoot_trace.c_watchdog_retry
                   ~cpu:me ~arg2:oid ();
                 Sim.Cpu.raw_delay cpu params.ipi_send_cost;
-                Sim.Bus.access ctx.Pmap.bus ~who:me ();
+                Sim.Bus.access ctx.Pmap.bus ~who:me ~home:oid ();
                 ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + 1;
                 Sim.Engine.after ctx.Pmap.eng params.ipi_latency (fun () ->
                     Sim.Cpu.post other Sim.Interrupt.Shootdown);
@@ -480,7 +514,7 @@ let hw_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges =
         (* one bus invalidation transaction per page (or one for a flush) *)
         let n = min pages params.tlb_flush_threshold in
         Sim.Cpu.raw_delay cpu (params.tlb_entry_invalidate_cost *. float_of_int n);
-        Sim.Bus.access ctx.Pmap.bus ~n ~who:(Sim.Cpu.id cpu) ()
+        Sim.Bus.access ctx.Pmap.bus ~n ~who:(Sim.Cpu.id cpu) ~home:oid ()
       end)
     ctx.Pmap.cpus
 
@@ -511,7 +545,7 @@ let force_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges
         let n = min pages params.tlb_flush_threshold in
         Sim.Cpu.raw_delay cpu
           (params.tlb_entry_invalidate_cost *. float_of_int n);
-        Sim.Bus.access ctx.Pmap.bus ~n ~who:(Sim.Cpu.id cpu) ()
+        Sim.Bus.access ctx.Pmap.bus ~n ~who:(Sim.Cpu.id cpu) ~home:oid ()
       end)
     targets
 

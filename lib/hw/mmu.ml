@@ -74,7 +74,13 @@ let writeback_refmod t (e : Tlb.entry) ~set_mod =
 
 (* Load a translation into the TLB.  Hardware reload walks the page tables
    with no regard for any software locks — which is why flushing before a
-   pmap change is futile (the entry can come right back). *)
+   pmap change is futile (the entry can come right back).
+
+   On a clustered machine the walk (like the refmod writeback above)
+   deliberately stays on the walker's own cluster bus — no [?home]: the
+   model assumes page tables are replicated per node, numaPTE-style, so
+   translation traffic never crosses the interconnect.  Only the
+   shootdown protocol's explicit coherence writes pay remote costs. *)
 let reload t sp vpn =
   t.reloads <- t.reloads + 1;
   match t.params.tlb_reload with

@@ -24,17 +24,27 @@ type category =
   | Lock_spin
   | Ack_wait
   | Bus_wait
+  | Interconnect_wait
   | Intr_dispatch
   | Queue_drain
 
 let categories =
-  [ Compute; Lock_spin; Ack_wait; Bus_wait; Intr_dispatch; Queue_drain ]
+  [
+    Compute;
+    Lock_spin;
+    Ack_wait;
+    Bus_wait;
+    Interconnect_wait;
+    Intr_dispatch;
+    Queue_drain;
+  ]
 
 let category_name = function
   | Compute -> "compute"
   | Lock_spin -> "lock_spin"
   | Ack_wait -> "ack_wait"
   | Bus_wait -> "bus_wait"
+  | Interconnect_wait -> "interconnect_wait"
   | Intr_dispatch -> "intr_dispatch"
   | Queue_drain -> "queue_drain"
 
@@ -43,8 +53,9 @@ let category_index = function
   | Lock_spin -> 1
   | Ack_wait -> 2
   | Bus_wait -> 3
-  | Intr_dispatch -> 4
-  | Queue_drain -> 5
+  | Interconnect_wait -> 4
+  | Intr_dispatch -> 5
+  | Queue_drain -> 6
 
 let ncategories = List.length categories
 
@@ -55,6 +66,9 @@ type t = {
   mutable total : float; (* per-CPU simulated time; summed over merges *)
   histograms : (string, Histogram.t) Hashtbl.t;
   mutable tracer : Trace.t option; (* receives "prof.*" slices on leave *)
+  mutable cluster_map : int array option;
+      (* cpu -> cluster, for per-cluster report sections; attribution
+         itself stays per-CPU, so merges are unaffected *)
 }
 
 let create ~ncpus () =
@@ -66,10 +80,24 @@ let create ~ncpus () =
     total = 0.0;
     histograms = Hashtbl.create 16;
     tracer = None;
+    cluster_map = None;
   }
 
 let ncpus t = t.ncpus
 let set_tracer t tr = t.tracer <- tr
+
+(* Per-cluster attribution is derived from the per-CPU buckets at report
+   time, so setting (or not setting) the map changes no accounting and
+   no merge semantics. *)
+let set_clusters t map =
+  if Array.length map <> t.ncpus then
+    invalid_arg "Profile.set_clusters: map length must equal ncpus";
+  t.cluster_map <- Some (Array.copy map)
+
+let nclusters t =
+  match t.cluster_map with
+  | None -> 1
+  | Some map -> 1 + Array.fold_left max 0 map
 
 let in_range t cpu = cpu >= 0 && cpu < t.ncpus
 
@@ -126,6 +154,17 @@ let attributed t ~cpu =
 let category_total t cat =
   Array.fold_left ( +. ) 0.0 t.buckets.(category_index cat)
 
+let cluster_total t ~cluster cat =
+  match t.cluster_map with
+  | None -> if cluster = 0 then category_total t cat else 0.0
+  | Some map ->
+      let row = t.buckets.(category_index cat) in
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun cpu c -> if c = cluster then acc := !acc +. row.(cpu))
+        map;
+      !acc
+
 let attributed_total t =
   List.fold_left (fun acc cat -> acc +. category_total t cat) 0.0 categories
 
@@ -141,6 +180,9 @@ let merge ~into src =
       Array.iteri (fun i v -> row.(i) <- row.(i) +. v) src.buckets.(c))
     into.buckets;
   into.total <- into.total +. src.total;
+  (match (into.cluster_map, src.cluster_map) with
+  | None, Some map -> into.cluster_map <- Some (Array.copy map)
+  | _ -> ());
   let names = Hashtbl.fold (fun k _ acc -> k :: acc) src.histograms [] in
   List.iter
     (fun name ->
@@ -167,24 +209,43 @@ let to_json t =
       @ [ ("idle", Json.Float (idle t ~cpu)) ])
   in
   Json.Obj
-    [
-      ("schema", Json.Str "tlbshoot-profile-v1");
-      ("ncpus", Json.Int t.ncpus);
-      ("total_us", Json.Float t.total);
-      ( "totals",
-        Json.Obj
-          (List.map
-             (fun cat -> (category_name cat, Json.Float (category_total t cat)))
-             categories
-          @ [
-              ( "idle",
-                Json.Float
-                  ((t.total *. float_of_int t.ncpus) -. attributed_total t) );
-            ]) );
-      ("cpus", Json.List (List.init t.ncpus cpu_row));
-      ( "histograms",
-        Json.Obj
-          (List.map
-             (fun (name, h) -> (name, Histogram.to_json h))
-             (sorted_histograms t)) );
-    ]
+    ([
+       ("schema", Json.Str "tlbshoot-profile-v1");
+       ("ncpus", Json.Int t.ncpus);
+       ("total_us", Json.Float t.total);
+       ( "totals",
+         Json.Obj
+           (List.map
+              (fun cat ->
+                (category_name cat, Json.Float (category_total t cat)))
+              categories
+           @ [
+               ( "idle",
+                 Json.Float
+                   ((t.total *. float_of_int t.ncpus) -. attributed_total t) );
+             ]) );
+       ("cpus", Json.List (List.init t.ncpus cpu_row));
+     ]
+    (* per-cluster attribution, emitted only on a clustered machine so
+       flat-profile JSON keeps its historical shape *)
+    @ (if nclusters t <= 1 then []
+       else
+         [
+           ( "clusters",
+             Json.List
+               (List.init (nclusters t) (fun c ->
+                    Json.Obj
+                      (("cluster", Json.Int c)
+                      :: List.map
+                           (fun cat ->
+                             ( category_name cat,
+                               Json.Float (cluster_total t ~cluster:c cat) ))
+                           categories))) );
+         ])
+    @ [
+        ( "histograms",
+          Json.Obj
+            (List.map
+               (fun (name, h) -> (name, Histogram.to_json h))
+               (sorted_histograms t)) );
+      ])

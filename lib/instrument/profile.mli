@@ -11,7 +11,11 @@ type category =
   | Compute  (** attributed clock advances outside any bracketed region *)
   | Lock_spin  (** spinning on a held [Sim.Spinlock] *)
   | Ack_wait  (** shootdown barrier: waiting on acks / the pmap lock *)
-  | Bus_wait  (** queueing + service on the shared bus *)
+  | Bus_wait  (** queueing + service on the (cluster) bus *)
+  | Interconnect_wait
+      (** queueing + service + wire latency on the inter-cluster
+          interconnect; only a clustered [Sim.Bus] charges it
+          (docs/TOPOLOGY.md) *)
   | Intr_dispatch  (** interrupt vectoring, handler service, return *)
   | Queue_drain  (** executing queued consistency actions *)
 
@@ -57,6 +61,19 @@ val attributed : t -> cpu:int -> float
 val category_total : t -> category -> float
 val attributed_total : t -> float
 
+val set_clusters : t -> int array -> unit
+(** Record the CPU-to-cluster map of a clustered machine (index = CPU
+    id).  Purely a report-time annotation: attribution stays per-CPU, so
+    {!merge} semantics are unchanged.
+    @raise Invalid_argument when the map length is not [ncpus]. *)
+
+val nclusters : t -> int
+(** [1] until {!set_clusters} provides a map. *)
+
+val cluster_total : t -> cluster:int -> category -> float
+(** Category total summed over the CPUs of one cluster (with no cluster
+    map: cluster 0 holds everything). *)
+
 val set_total : t -> float -> unit
 (** Record the per-CPU simulated time span (engine time at the end of the
     run); {!merge} sums it across trials. *)
@@ -72,4 +89,5 @@ val merge : into:t -> t -> unit
 
 val to_json : t -> Json.t
 (** Schema ["tlbshoot-profile-v1"]: per-CPU and total buckets (including
-    the idle remainder) plus the named histograms, sorted by name. *)
+    the idle remainder) plus the named histograms, sorted by name.  On a
+    clustered machine ({!set_clusters}), also a per-cluster section. *)

@@ -223,7 +223,7 @@ let step t cost =
       let stores = int_of_float t.store_backlog in
       if stores > 0 then begin
         t.store_backlog <- t.store_backlog -. float_of_int stores;
-        Bus.post_async t.bus ~n:stores
+        Bus.post_async t.bus ~who:t.id ~n:stores ()
       end;
       check_interrupts t;
       go (remaining -. elapsed)

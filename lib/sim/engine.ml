@@ -43,6 +43,7 @@ let () =
 type wakener = {
   mutable fired : bool;
   mutable resume : unit -> unit; (* schedules the parked continuation *)
+  wshard : int; (* event-heap shard the parked coroutine resumes on *)
 }
 
 type _ Effect.t +=
@@ -55,6 +56,9 @@ type t = {
   mutable events : int; (* total processed, for runaway detection *)
   mutable max_events : int;
   heap : (Instrument.Metrics.counter * (unit -> unit)) Heap.t;
+  mutable cur_shard : int;
+      (* shard of the event being executed; events it schedules inherit
+         it, so a coroutine's activity stays on its home shard *)
   prng : Prng.t;
   mutable live : int; (* spawned coroutines not yet finished *)
   metrics : Instrument.Metrics.t; (* per-label processed-event counters *)
@@ -67,7 +71,7 @@ type t = {
   c_spawn : Instrument.Metrics.counter;
 }
 
-let create ?(seed = 0x5EEDL) ?(max_events = 200_000_000) () =
+let create ?(seed = 0x5EEDL) ?(max_events = 200_000_000) ?(shards = 1) () =
   let metrics = Instrument.Metrics.create () in
   let c_at = Instrument.Metrics.counter metrics "at" in
   {
@@ -75,7 +79,8 @@ let create ?(seed = 0x5EEDL) ?(max_events = 200_000_000) () =
     seq = 0;
     events = 0;
     max_events;
-    heap = Heap.create ~dummy:(c_at, ignore);
+    heap = Heap.create ~shards ~dummy:(c_at, ignore) ();
+    cur_shard = 0;
     prng = Prng.create seed;
     live = 0;
     metrics;
@@ -92,11 +97,15 @@ let prng t = t.prng
 let live t = t.live
 let events_processed t = t.events
 let pending t = Heap.length t.heap
+let shards t = Heap.shards t.heap
 
-let schedule t counter time thunk =
+let schedule_on t ~shard counter time thunk =
   let time = if time < t.now then t.now else time in
   t.seq <- t.seq + 1;
-  Heap.push t.heap time t.seq (counter, thunk)
+  Heap.push t.heap ~shard time t.seq (counter, thunk)
+
+let schedule t counter time thunk =
+  schedule_on t ~shard:t.cur_shard counter time thunk
 
 let counter_of t = function
   | "at" -> t.c_at
@@ -125,10 +134,12 @@ let suspend register = Effect.perform (Suspend register)
 let wake t w =
   if not w.fired then begin
     w.fired <- true;
-    schedule t t.c_wake t.now w.resume
+    (* resume on the parkee's home shard, not the waker's *)
+    schedule_on t ~shard:w.wshard t.c_wake t.now w.resume
   end
 
-let spawn t ?(name = "coroutine") fn =
+let spawn t ?(name = "coroutine") ?shard fn =
+  let shard = match shard with Some s -> s | None -> t.cur_shard in
   t.live <- t.live + 1;
   let started = t.now in
   let open Effect.Deep in
@@ -157,19 +168,22 @@ let spawn t ?(name = "coroutine") fn =
             | Suspend register ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    let w = { fired = false; resume = ignore } in
+                    let w =
+                      { fired = false; resume = ignore; wshard = t.cur_shard }
+                    in
                     w.resume <- (fun () -> continue k ());
                     register w)
             | _ -> None);
       }
   in
-  schedule t t.c_spawn t.now fiber
+  schedule_on t ~shard t.c_spawn t.now fiber
 
 let step t =
   if Heap.is_empty t.heap then false
   else begin
     let time = Heap.min_time t.heap in
     let counter, thunk = Heap.pop_payload t.heap in
+    t.cur_shard <- Heap.last_shard t.heap;
     Instrument.Metrics.inc counter;
     t.now <- time;
     t.events <- t.events + 1;

@@ -1,23 +1,34 @@
-(** Binary min-heap of timestamped events.
+(** Sharded binary min-heap of timestamped events.
 
     Keys are [(time, seq)] pairs compared lexicographically, giving FIFO
-    order among events scheduled for the same simulated instant.  Storage
-    is structure-of-arrays (unboxed times, seqs, payloads), so pushing an
-    event allocates nothing. *)
+    order among events scheduled for the same simulated instant.  The
+    heap is split into independent sub-heaps ("shards") — the engine
+    gives each bus cluster its own — and a pop scans the shard roots for
+    the global minimum.  Sequence numbers are globally unique, so the
+    pop order is identical to a single heap's regardless of how events
+    are distributed over shards.  Storage is structure-of-arrays
+    (unboxed times, seqs, payloads), so pushing an event allocates
+    nothing. *)
 
 type 'a t
 
-val create : dummy:'a -> 'a t
-(** [create ~dummy] makes an empty heap. [dummy] fills unused slots. *)
+val create : ?shards:int -> dummy:'a -> unit -> 'a t
+(** [create ~shards ~dummy ()] makes an empty heap of [shards]
+    independent sub-heaps (default 1, the historical single heap).
+    [dummy] fills unused slots.
+    @raise Invalid_argument if [shards < 1]. *)
 
+val shards : 'a t -> int
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
-val push : 'a t -> float -> int -> 'a -> unit
-(** [push h time seq v] inserts [v] with key [(time, seq)]. *)
+val push : 'a t -> ?shard:int -> float -> int -> 'a -> unit
+(** [push h ~shard time seq v] inserts [v] with key [(time, seq)] into
+    the given sub-heap (default shard 0).  [seq] must be unique across
+    all shards for the global pop order to be total. *)
 
 val pop : 'a t -> float * int * 'a
-(** Remove and return the minimum element.
+(** Remove and return the globally minimum element.
     @raise Invalid_argument if the heap is empty. *)
 
 val min_time : 'a t -> float
@@ -26,15 +37,20 @@ val min_time : 'a t -> float
     @raise Invalid_argument if the heap is empty. *)
 
 val pop_payload : 'a t -> 'a
-(** Remove the minimum element and return only its payload (the
+(** Remove the globally minimum element and return only its payload (the
     non-allocating variant of {!pop}; read {!min_time} first if the
     timestamp is needed).
     @raise Invalid_argument if the heap is empty. *)
+
+val last_shard : 'a t -> int
+(** Shard index the most recent {!pop} / {!pop_payload} came from; the
+    engine uses it to route events scheduled by the popped event's thunk
+    back to the same shard. *)
 
 val peek_time : 'a t -> float option
 (** Timestamp of the next event, if any. *)
 
 val iter_payloads : ('a -> unit) -> 'a t -> unit
-(** Apply [f] to every pending payload, in heap (not time) order.  For
-    diagnostics — e.g. summarising what was still scheduled when a run
-    blew its event budget. *)
+(** Apply [f] to every pending payload across {e all} shards, in
+    per-shard heap (not time) order.  For diagnostics — e.g. summarising
+    what was still scheduled when a run blew its event budget. *)

@@ -18,6 +18,39 @@ type tlb_reload =
   | Software_reload (* miss traps to software (MIPS R2000); responders
                        need not stall during pmap updates *)
 
+(* Machine topology: how processors reach memory.
+
+   The 1989 Multimax is a single shared bus — [cluster_size = 0] — and
+   every timing in the calibrated defaults assumes it.  To test the
+   paper's section 8 extrapolation past ~16 processors the machine can
+   instead be built as a two-level hierarchy: clusters of [cluster_size]
+   CPUs, each with its own local bus, joined by one FCFS interconnect.
+   A transaction whose home node is in another cluster occupies its
+   local bus, then the interconnect, then the remote cluster's bus
+   (remote memory being slower by [node_memory_cost] per transaction,
+   plus a fixed [remote_latency] wire delay) — the numaPTE-style cost
+   model of docs/TOPOLOGY.md.  With a single cluster the hierarchy
+   degenerates to exactly the historical flat bus, byte for byte. *)
+type topology = {
+  cluster_size : int;
+      (* CPUs per cluster bus; 0 (or >= ncpus) = flat single bus *)
+  interconnect_service : float; (* us per transaction on the interconnect *)
+  remote_latency : float; (* fixed wire delay per remote bus visit *)
+  node_memory_cost : float; (* extra service per transaction when the
+                               memory lives on another node *)
+}
+
+(* The interconnect timings below only matter when [cluster_size > 0];
+   they model an interconnect somewhat slower than a local bus, with
+   remote memory roughly 1.5x the cost of local. *)
+let flat_topology =
+  {
+    cluster_size = 0;
+    interconnect_service = 2.2;
+    remote_latency = 1.5;
+    node_memory_cost = 0.4;
+  }
+
 type consistency_policy =
   | Shootdown (* the Mach algorithm of paper section 4 *)
   | Timer_flush of float (* technique 2 of section 3: flush every TLB on a
@@ -37,8 +70,9 @@ type consistency_policy =
 type t = {
   ncpus : int;
   seed : int64;
-  (* --- shared bus ------------------------------------------------------ *)
+  (* --- shared bus / topology ------------------------------------------- *)
   bus_service : float; (* us per bus transaction, uncontended *)
+  topology : topology; (* flat_topology = the historical single bus *)
   (* --- interrupts ------------------------------------------------------ *)
   ipi_send_cost : float; (* initiator CPU cost to post one IPI *)
   ipi_latency : float; (* wire latency until the target sees it *)
@@ -128,6 +162,7 @@ let default =
     ncpus = 16;
     seed = 0x6D61636BL (* "mach" *);
     bus_service = 1.1;
+    topology = flat_topology;
     ipi_send_cost = 10.0;
     ipi_latency = 4.0;
     intr_dispatch_cost = 50.0;
@@ -192,3 +227,16 @@ let production =
   }
 
 let words_per_page t = t.page_size / 4
+
+(* --- topology helpers --------------------------------------------------- *)
+
+let clusters t =
+  let cs = t.topology.cluster_size in
+  if cs <= 0 || cs >= t.ncpus then 1 else (t.ncpus + cs - 1) / cs
+
+let clustered t = clusters t > 1
+
+(* Cluster of a CPU id; unattributed traffic (cpu < 0) is homed on
+   cluster 0, where the kernel's shared structures live. *)
+let cluster_of t cpu =
+  if (not (clustered t)) || cpu < 0 then 0 else cpu / t.topology.cluster_size

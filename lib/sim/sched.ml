@@ -22,6 +22,9 @@ type thread = {
   mutable cpu : Cpu.t option;
   mutable parked : Engine.wakener option;
   bound : int option; (* pin to a CPU id *)
+  mutable home : int; (* cluster affinity: where the thread queues when
+                         ready and which idle CPUs are poked first;
+                         updated when a steal migrates the thread *)
   mutable data : user_data;
   mutable joiners : thread list;
   mutable wakeup_pending : bool;
@@ -53,7 +56,10 @@ type t = {
   eng : Engine.t;
   cpus : Cpu.t array;
   params : Params.t;
-  global_ready : thread Queue.t;
+  cluster_ready : thread Queue.t array;
+      (* unbound ready threads, one queue per cluster (length 1 = the
+         historical global queue); idle CPUs steal across clusters *)
+  cluster_of_cpu : int array; (* cpu id -> cluster *)
   bound_ready : thread Queue.t array;
   return_wakeners : Engine.wakener option array;
   mutable tid_counter : int;
@@ -70,7 +76,9 @@ let create eng cpus (params : Params.t) =
     eng;
     cpus;
     params;
-    global_ready = Queue.create ();
+    cluster_ready = Array.init (Params.clusters params) (fun _ -> Queue.create ());
+    cluster_of_cpu =
+      Array.init (Array.length cpus) (fun id -> Params.cluster_of params id);
     bound_ready = Array.init (Array.length cpus) (fun _ -> Queue.create ());
     return_wakeners = Array.make (Array.length cpus) None;
     tid_counter = 0;
@@ -86,8 +94,11 @@ let live_threads t = t.live_threads
 let cpus t = t.cpus
 let engine t = t.eng
 
-(* Wake one idle CPU that could run a newly-ready thread. *)
-let poke t ~bound =
+(* Wake one idle CPU that could run a newly-ready thread; unbound threads
+   prefer an idle CPU in their home cluster before any other.  On a flat
+   machine the home pass scans every CPU in id order — the historical
+   behaviour — and the fallback pass is empty. *)
+let poke t ~bound ~home =
   let try_poke cpu =
     if cpu.Cpu.idle then begin
       (match cpu.Cpu.sleeper with
@@ -101,8 +112,19 @@ let poke t ~bound =
   | Some id -> ignore (try_poke t.cpus.(id))
   | None ->
       let n = Array.length t.cpus in
-      let rec go i = if i < n then if try_poke t.cpus.(i) then () else go (i + 1) in
-      go 0
+      let found = ref false in
+      let i = ref 0 in
+      while (not !found) && !i < n do
+        if t.cluster_of_cpu.(!i) = home && try_poke t.cpus.(!i) then
+          found := true;
+        incr i
+      done;
+      i := 0;
+      while (not !found) && !i < n do
+        if t.cluster_of_cpu.(!i) <> home && try_poke t.cpus.(!i) then
+          found := true;
+        incr i
+      done
 
 (* Pure (no effects): mark a thread runnable and poke an idle CPU.  Safe to
    call from timer callbacks and suspend registrations. *)
@@ -113,8 +135,8 @@ let make_ready t th =
   th.state <- Ready;
   (match th.bound with
   | Some id -> Queue.push th t.bound_ready.(id)
-  | None -> Queue.push th t.global_ready);
-  poke t ~bound:th.bound
+  | None -> Queue.push th t.cluster_ready.(th.home));
+  poke t ~bound:th.bound ~home:th.home
 
 (* Wake a blocked thread (pure).  Waking a running thread latches the
    wakeup so the thread's next [block] returns immediately; callers
@@ -125,16 +147,34 @@ let wakeup t th =
   | Running -> th.wakeup_pending <- true
   | Created | Ready | Finished -> ()
 
+(* Dispatch order: this CPU's bound queue, its cluster's queue, then
+   steal from the other clusters (nearest first).  A stolen thread's
+   home moves with it.  Flat machines have one cluster, so this is
+   exactly the historical bound-then-global order. *)
 let next_thread t (cpu : Cpu.t) =
   let q = t.bound_ready.(Cpu.id cpu) in
   if not (Queue.is_empty q) then Some (Queue.pop q)
-  else if not (Queue.is_empty t.global_ready) then
-    Some (Queue.pop t.global_ready)
-  else None
+  else begin
+    let k = Array.length t.cluster_ready in
+    let mine = t.cluster_of_cpu.(Cpu.id cpu) in
+    let rec steal i =
+      if i >= k then None
+      else
+        let c = (mine + i) mod k in
+        let q = t.cluster_ready.(c) in
+        if not (Queue.is_empty q) then begin
+          let th = Queue.pop q in
+          th.home <- mine;
+          Some th
+        end
+        else steal (i + 1)
+    in
+    steal 0
+  end
 
 let has_ready t (cpu : Cpu.t) =
   (not (Queue.is_empty t.bound_ready.(Cpu.id cpu)))
-  || not (Queue.is_empty t.global_ready)
+  || Array.exists (fun q -> not (Queue.is_empty q)) t.cluster_ready
 
 (* Give the CPU back to its idle loop (pure). *)
 let hand_cpu_back t (cpu : Cpu.t) =
@@ -182,7 +222,9 @@ let idle_loop t (cpu : Cpu.t) () =
 let start t =
   Array.iter
     (fun cpu ->
-      Engine.spawn t.eng ~name:(Printf.sprintf "idle%d" (Cpu.id cpu))
+      Engine.spawn t.eng
+        ~name:(Printf.sprintf "idle%d" (Cpu.id cpu))
+        ~shard:t.cluster_of_cpu.(Cpu.id cpu)
         (idle_loop t cpu))
     t.cpus
 
@@ -261,6 +303,9 @@ let finish t th =
    an idle CPU dispatches it. *)
 let create_thread t ?bound ?(name = "thread") body =
   t.tid_counter <- t.tid_counter + 1;
+  let home =
+    match bound with Some id -> t.cluster_of_cpu.(id) | None -> 0
+  in
   let th =
     {
       tid = t.tid_counter;
@@ -269,6 +314,7 @@ let create_thread t ?bound ?(name = "thread") body =
       cpu = None;
       parked = None;
       bound;
+      home;
       data = No_data;
       joiners = [];
       wakeup_pending = false;
@@ -277,7 +323,7 @@ let create_thread t ?bound ?(name = "thread") body =
   in
   t.live_threads <- t.live_threads + 1;
   t.started_threads <- t.started_threads + 1;
-  Engine.spawn t.eng ~name (fun () ->
+  Engine.spawn t.eng ~name ~shard:home (fun () ->
       Engine.suspend (fun w ->
           th.parked <- Some w;
           make_ready t th);

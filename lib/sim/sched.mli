@@ -29,6 +29,9 @@ type thread = {
   mutable cpu : Cpu.t option;
   mutable parked : Engine.wakener option;
   bound : int option;  (** pin to a CPU id *)
+  mutable home : int;
+      (** cluster affinity: where the thread queues when ready; updated
+          when a steal migrates it (always [0] on a flat machine) *)
   mutable data : user_data;
   mutable joiners : thread list;
   mutable wakeup_pending : bool;
@@ -39,7 +42,11 @@ type t = {
   eng : Engine.t;
   cpus : Cpu.t array;
   params : Params.t;
-  global_ready : thread Queue.t;
+  cluster_ready : thread Queue.t array;
+      (** unbound ready threads, one queue per cluster (length 1 on a
+          flat machine — the historical global queue); idle CPUs prefer
+          their own cluster's queue and steal from the others *)
+  cluster_of_cpu : int array;  (** CPU id -> cluster *)
   bound_ready : thread Queue.t array;
   return_wakeners : Engine.wakener option array;
   mutable tid_counter : int;

@@ -129,7 +129,9 @@ let spawn_pageout_daemon t =
          Pageout.daemon t.vms self))
 
 let create ?(params = Sim.Params.default) () =
-  let eng = Sim.Engine.create ~seed:params.seed () in
+  let eng =
+    Sim.Engine.create ~seed:params.seed ~shards:(Sim.Params.clusters params) ()
+  in
   let bus = Sim.Bus.create eng params in
   let cpus = Array.init params.ncpus (fun id -> Sim.Cpu.create eng bus params ~id) in
   let mem = Hw.Phys_mem.create ~frames:params.phys_pages in
@@ -214,7 +216,10 @@ let attach_profile t profile =
   Array.iter
     (fun (cpu : Sim.Cpu.t) -> cpu.Sim.Cpu.profile <- Some profile)
     t.cpus;
-  Sim.Bus.set_profile t.bus (Some profile)
+  Sim.Bus.set_profile t.bus (Some profile);
+  if Sim.Params.clustered t.params then
+    Instrument.Profile.set_clusters profile
+      (Array.init t.params.ncpus (Sim.Params.cluster_of t.params))
 
 (* Total busy CPU time, for overhead percentages. *)
 let total_busy_time t =

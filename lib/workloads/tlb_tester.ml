@@ -26,10 +26,12 @@ type result = {
 }
 
 (* How long the children get to warm up their TLB entries before the
-   reprotect fires (simulated us). *)
+   reprotect fires (simulated us).  Overridable for the 1024-CPU scale
+   sweeps, where hundreds of children need longer to all announce. *)
 let warmup_time = 3_000.0
 
-let run ?(pages = 1) (machine : Machine.t) ~children () =
+let run ?(pages = 1) ?(warmup = warmup_time) ?grace (machine : Machine.t)
+    ~children () =
   let vms = machine.Machine.vms in
   let sched = machine.Machine.sched in
   let xpr = machine.Machine.xpr in
@@ -57,7 +59,7 @@ let run ?(pages = 1) (machine : Machine.t) ~children () =
          is dead long before it expires; with consistency disabled the
          children keep incrementing through their stale entries and this
          is what lets the tester observe the violation and still halt. *)
-      let grace_time = 2_000.0 in
+      let grace_time = match grace with Some g -> g | None -> 2_000.0 in
       let dead = Array.make children false in
       let threads =
         List.init children (fun i ->
@@ -111,7 +113,7 @@ let run ?(pages = 1) (machine : Machine.t) ~children () =
       done;
       Sim.Sync.unlock sched self started;
       (* Let them hammer the page for a while with warm TLB entries. *)
-      Sim.Sched.sleep sched self warmup_time;
+      Sim.Sched.sleep sched self warmup;
       (* Reprotect to read-only: the shootdown under test. *)
       Vm_map.protect vms self task.Task.map ~lo:page_vpn
         ~hi:(page_vpn + pages) ~prot:Addr.Prot_read;
@@ -162,7 +164,8 @@ let run ?(pages = 1) (machine : Machine.t) ~children () =
   | None -> failwith "Tlb_tester: no outcome recorded"
 
 (* Fresh machine per run, as the experiments require. *)
-let run_fresh ?(params = Sim.Params.default) ?(pages = 1) ~children ~seed () =
+let run_fresh ?(params = Sim.Params.default) ?(pages = 1) ?warmup ?grace
+    ~children ~seed () =
   let params = { params with seed } in
   let machine = Machine.create ~params () in
-  run ~pages machine ~children ()
+  run ~pages ?warmup ?grace machine ~children ()

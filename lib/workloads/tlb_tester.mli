@@ -17,11 +17,28 @@ type result = {
 
 val warmup_time : float
 
-val run : ?pages:int -> Vm.Machine.t -> children:int -> unit -> result
-(** Run the tester on a freshly booted machine (consumes it).
+val run :
+  ?pages:int ->
+  ?warmup:float ->
+  ?grace:float ->
+  Vm.Machine.t ->
+  children:int ->
+  unit ->
+  result
+(** Run the tester on a freshly booted machine (consumes it).  [warmup]
+    (default {!warmup_time}) is how long the children hammer the page
+    before the reprotect; [grace] (default 2000 us) how long stale
+    entries get to do damage afterwards.  The 1024-CPU scale sweeps
+    raise both.
     @raise Invalid_argument if [children >= ncpus]. *)
 
 val run_fresh :
-  ?params:Sim.Params.t -> ?pages:int -> children:int -> seed:int64 -> unit ->
+  ?params:Sim.Params.t ->
+  ?pages:int ->
+  ?warmup:float ->
+  ?grace:float ->
+  children:int ->
+  seed:int64 ->
+  unit ->
   result
 (** Boot a machine with [seed] and run once. *)

@@ -116,7 +116,7 @@ let heap_sorted =
   QCheck.Test.make ~name:"heap pops sorted" ~count:200
     QCheck.(list (pair (float_bound_exclusive 1000.0) small_nat))
     (fun pairs ->
-      let h = Sim.Heap.create ~dummy:0 in
+      let h = Sim.Heap.create ~dummy:0 () in
       List.iteri (fun i (t, v) -> Sim.Heap.push h t i v) pairs;
       let prev = ref neg_infinity in
       let ok = ref true in
