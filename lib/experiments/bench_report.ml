@@ -125,13 +125,29 @@ let report ~mode ~fig ~t1 ~apps = to_json ~mode (metrics_of ~fig ~t1 ~apps)
 (* Wall-clock run information lives in its own report, NOT in the metrics
    report above: wall time varies run to run and with the job count, while
    the metrics report is required to be byte-identical for the same seeds
-   at every job count (the determinism gate diffs it directly). *)
-let run_info ~jobs ~wall_time_s =
+   at every job count (the determinism gate diffs it directly).
+
+   [events] is the number of simulator events dispatched process-wide
+   ({!Sim.Engine.total_events}); [minor_words]/[major_collections] come
+   from [Gc.quick_stat] in the calling domain.  Their ratio —
+   [minor_words_per_event] — is the allocation-efficiency figure the
+   harness-performance work tracks: simulated work is frozen by the
+   byte-identity gate, so any movement in this number is a host-side
+   allocation change, not a workload change.  Under [--jobs > 1] the GC
+   numbers undercount (worker domains keep their own counters), so the
+   ratio is only comparable between runs at the same job count. *)
+let run_info ~jobs ~wall_time_s ~events ~minor_words ~major_collections =
   Json.Obj
     [
       ("schema", Json.Int schema_version);
       ("jobs", Json.Int jobs);
       ("wall_time_s", Json.Float wall_time_s);
+      ("events", Json.Int events);
+      ("minor_words", Json.Float minor_words);
+      ("major_collections", Json.Int major_collections);
+      ( "minor_words_per_event",
+        Json.Float
+          (if events > 0 then minor_words /. float_of_int events else 0.0) );
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -21,8 +21,10 @@ type t = {
   mutable kernel : space option;
   mutable user : space option;
   (* Software-reload hook (Params.Software_reload): installed by the pmap
-     layer; may stall while the relevant pmap is being modified. *)
-  mutable software_reload : (space -> Addr.vpn -> Page_table.pte option) option;
+     layer; may stall while the relevant pmap is being modified.  Returns
+     [Page_table.no_pte] (or any invalid PTE) for an unmapped page, so
+     the per-miss path never boxes an option. *)
+  mutable software_reload : (space -> Addr.vpn -> Page_table.pte) option;
   (* Hazard accounting: blind ref/mod writebacks that hit a PTE which was
      no longer a valid mapping of the same frame — page-table corruption
      on real hardware. *)
@@ -87,7 +89,7 @@ let reload t sp vpn =
   | Sim.Params.Hardware_reload ->
       Sim.Cpu.raw_delay t.cpu t.params.ptw_cost;
       Sim.Bus.access t.cpu.Sim.Cpu.bus ~n:2 ~who:t.cpu.Sim.Cpu.id ();
-      Page_table.lookup sp.pt vpn
+      Page_table.find sp.pt vpn
   | Sim.Params.Software_reload -> (
       (* Trap to the kernel's reload handler; it may stall while the pmap
          is locked.  Roughly 4x the cost of a hardware walk. *)
@@ -95,7 +97,7 @@ let reload t sp vpn =
       Sim.Bus.access t.cpu.Sim.Cpu.bus ~n:2 ~who:t.cpu.Sim.Cpu.id ();
       match t.software_reload with
       | Some f -> f sp vpn
-      | None -> Page_table.lookup sp.pt vpn)
+      | None -> Page_table.find sp.pt vpn)
 
 let rec translate t ~va ~access =
   match space_for t va with
@@ -106,35 +108,37 @@ let rec translate t ~va ~access =
       | Some e ->
           (* The *cached* protection gates the access. *)
           if Addr.prot_allows e.prot access then begin
-            if access = Addr.Write_access && not e.mod_bit then begin
-              e.mod_bit <- true;
-              e.ref_bit <- true;
-              writeback_refmod t e ~set_mod:true
-            end
-            else if not e.ref_bit then begin
-              e.ref_bit <- true;
-              writeback_refmod t e ~set_mod:false
-            end;
+            (match access with
+            | Addr.Write_access when not e.mod_bit ->
+                e.mod_bit <- true;
+                e.ref_bit <- true;
+                writeback_refmod t e ~set_mod:true
+            | Addr.Write_access | Addr.Read_access ->
+                if not e.ref_bit then begin
+                  e.ref_bit <- true;
+                  writeback_refmod t e ~set_mod:false
+                end);
             Ok e.pfn
           end
           else Error { va; access; kind = Fault_protection }
-      | None -> (
-          match reload t sp vpn with
-          | Some pte when pte.Page_table.valid ->
-              let e =
-                {
-                  Tlb.space = sp.space_id;
-                  vpn;
-                  pfn = pte.Page_table.pfn;
-                  prot = pte.Page_table.prot;
-                  ref_bit = false;
-                  mod_bit = false;
-                  pte;
-                }
-              in
-              Tlb.insert t.tlb e;
-              translate t ~va ~access
-          | Some _ | None -> Error { va; access; kind = Fault_missing }))
+      | None ->
+          let pte = reload t sp vpn in
+          if pte.Page_table.valid then begin
+            let e =
+              {
+                Tlb.space = sp.space_id;
+                vpn;
+                pfn = pte.Page_table.pfn;
+                prot = pte.Page_table.prot;
+                ref_bit = false;
+                mod_bit = false;
+                pte;
+              }
+            in
+            Tlb.insert t.tlb e;
+            translate t ~va ~access
+          end
+          else Error { va; access; kind = Fault_missing })
 
 let read_word t va =
   match translate t ~va ~access:Addr.Read_access with

@@ -19,9 +19,11 @@ type t = {
   params : Sim.Params.t;
   mutable kernel : space option;
   mutable user : space option;
-  mutable software_reload : (space -> Addr.vpn -> Page_table.pte option) option;
+  mutable software_reload : (space -> Addr.vpn -> Page_table.pte) option;
       (** installed by the pmap layer under [Params.Software_reload];
-          may stall while the relevant pmap is being modified *)
+          may stall while the relevant pmap is being modified.  Returns
+          an invalid PTE (e.g. [Page_table.no_pte]) for unmapped pages,
+          keeping the per-miss path free of option boxing *)
   mutable corrupting_writebacks : int;
       (** blind ref/mod writebacks that hit a no-longer-valid PTE —
           page-table corruption on real hardware *)

@@ -4,7 +4,17 @@
    chunk proves that 1024 consecutive pages have no mappings, which is the
    "internal pmap module knowledge" form of lazy evaluation that the paper
    notes survives even when the per-page validity check is disabled
-   (section 7.2). *)
+   (section 7.2).
+
+   The first level is a flat [pte array array] whose absent slots all
+   point at one shared, permanently-invalid chunk rather than [None]:
+   a walk is two array probes with no option match, and [find] returns
+   the PTE (possibly the shared invalid one) without allocating — the
+   translation hot path through [Mmu] does not box an option per miss.
+   The shared chunk is never written: [set] goes through [ensure_slot],
+   which installs a real chunk first, and [clear] only touches valid
+   entries (the sentinel is invalid forever), so sharing it across every
+   page table — and across domains — is safe. *)
 
 type pte = {
   mutable valid : bool;
@@ -25,43 +35,52 @@ let invalid_pte () =
     modified = false;
   }
 
+(* The shared always-invalid PTE ([no_pte]) and the chunk of 1024 pointers
+   to it that stands in for every unallocated second-level table. *)
+let no_pte = invalid_pte ()
+let absent_chunk : pte array = Array.make 1024 no_pte
+
 type t = {
-  root : pte array option array; (* 1024 first-level slots *)
+  chunks : pte array array; (* 1024 first-level slots; [absent_chunk]
+                               where no second-level table exists *)
   mutable valid_ptes : int; (* number of valid entries, for cheap emptiness *)
   mutable l2_tables : int;
 }
 
-let create () = { root = Array.make 1024 None; valid_ptes = 0; l2_tables = 0 }
+let create () =
+  { chunks = Array.make 1024 absent_chunk; valid_ptes = 0; l2_tables = 0 }
 
 let valid_count t = t.valid_ptes
 let l2_table_count t = t.l2_tables
 
-(* Look up without allocating; [None] when the covering second-level chunk
-   or the entry itself is absent/invalid. *)
+(* Single-probe walk: the PTE for [vpn], which is [no_pte] (invalid) when
+   the covering chunk was never allocated.  The result must be treated as
+   read-only unless it is valid. *)
+let find t vpn = t.chunks.(Addr.l1_index vpn).(Addr.l2_index vpn)
+
+(* Look up without allocating on the miss path; [None] when the covering
+   second-level chunk or the entry itself is absent/invalid. *)
 let lookup t vpn =
-  match t.root.(Addr.l1_index vpn) with
-  | None -> None
-  | Some l2 ->
-      let pte = l2.(Addr.l2_index vpn) in
-      if pte.valid then Some pte else None
+  let pte = find t vpn in
+  if pte.valid then Some pte else None
 
 (* The raw slot, valid or not (used by the MMU's interlocked ref/mod
    writeback, which must observe invalid entries). *)
 let slot t vpn =
-  match t.root.(Addr.l1_index vpn) with
-  | None -> None
-  | Some l2 -> Some l2.(Addr.l2_index vpn)
+  let l2 = t.chunks.(Addr.l1_index vpn) in
+  if l2 == absent_chunk then None else Some l2.(Addr.l2_index vpn)
 
 let ensure_slot t vpn =
   let i1 = Addr.l1_index vpn in
+  let l2 = t.chunks.(i1) in
   let l2 =
-    match t.root.(i1) with
-    | Some l2 -> l2
-    | None ->
-        let l2 = Array.init 1024 (fun _ -> invalid_pte ()) in
-        t.root.(i1) <- Some l2;
-        t.l2_tables <- t.l2_tables + 1;
-        l2
+    if l2 != absent_chunk then l2
+    else begin
+      let l2 = Array.init 1024 (fun _ -> invalid_pte ()) in
+      t.chunks.(i1) <- l2;
+      t.l2_tables <- t.l2_tables + 1;
+      l2
+    end
   in
   l2.(Addr.l2_index vpn)
 
@@ -90,18 +109,19 @@ let clear t vpn =
 let iter_valid_range t ~lo ~hi f =
   let vpn = ref lo in
   while !vpn < hi do
-    match t.root.(Addr.l1_index !vpn) with
-    | None ->
-        (* skip to the next second-level chunk *)
-        vpn := (Addr.l1_index !vpn + 1) lsl 10
-    | Some l2 ->
-        let chunk_end = ((Addr.l1_index !vpn + 1) lsl 10) - 1 in
-        let stop = min hi (chunk_end + 1) in
-        while !vpn < stop do
-          let pte = l2.(Addr.l2_index !vpn) in
-          if pte.valid then f !vpn pte;
-          incr vpn
-        done
+    let l2 = t.chunks.(Addr.l1_index !vpn) in
+    if l2 == absent_chunk then
+      (* skip to the next second-level chunk *)
+      vpn := (Addr.l1_index !vpn + 1) lsl 10
+    else begin
+      let chunk_end = ((Addr.l1_index !vpn + 1) lsl 10) - 1 in
+      let stop = min hi (chunk_end + 1) in
+      while !vpn < stop do
+        let pte = l2.(Addr.l2_index !vpn) in
+        if pte.valid then f !vpn pte;
+        incr vpn
+      done
+    end
   done
 
 (* Count valid entries in a range (the lazy-evaluation check). *)
@@ -125,8 +145,7 @@ let any_valid_in_range t ~lo ~hi =
 let any_chunk_in_range t ~lo ~hi =
   let c1 = Addr.l1_index lo and c2 = Addr.l1_index (hi - 1) in
   let rec go c =
-    if c > c2 then false
-    else match t.root.(c) with Some _ -> true | None -> go (c + 1)
+    if c > c2 then false else t.chunks.(c) != absent_chunk || go (c + 1)
   in
   hi > lo && go c1
 
@@ -137,17 +156,16 @@ let pages_examined t ~lo ~hi =
   let c1 = Addr.l1_index lo and c2 = Addr.l1_index (hi - 1) in
   if hi > lo then
     for c = c1 to c2 do
-      match t.root.(c) with
-      | None -> ()
-      | Some _ ->
-          let chunk_lo = max lo (c lsl 10) in
-          let chunk_hi = min hi ((c + 1) lsl 10) in
-          n := !n + (chunk_hi - chunk_lo)
+      if t.chunks.(c) != absent_chunk then begin
+        let chunk_lo = max lo (c lsl 10) in
+        let chunk_hi = min hi ((c + 1) lsl 10) in
+        n := !n + (chunk_hi - chunk_lo)
+      end
     done;
   !n
 
 (* Release all second-level chunks (pmap destruction). *)
 let destroy t =
-  Array.iteri (fun i _ -> t.root.(i) <- None) t.root;
+  Array.fill t.chunks 0 (Array.length t.chunks) absent_chunk;
   t.valid_ptes <- 0;
   t.l2_tables <- 0

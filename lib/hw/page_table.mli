@@ -14,14 +14,23 @@ type pte = {
 
 val invalid_pte : unit -> pte
 
+val no_pte : pte
+(** The shared, permanently-invalid PTE returned by {!find} for unmapped
+    pages.  Read-only: callers must check [valid] before mutating a PTE
+    obtained from {!find}. *)
+
 type t
 
 val create : unit -> t
 val valid_count : t -> int
 val l2_table_count : t -> int
 
+val find : t -> Addr.vpn -> pte
+(** Single-probe walk with no allocation: the PTE for [vpn], or the
+    shared invalid {!no_pte} when the covering chunk is absent. *)
+
 val lookup : t -> Addr.vpn -> pte option
-(** The valid entry for [vpn], without allocating. *)
+(** The valid entry for [vpn]; allocation-free on the miss path. *)
 
 val slot : t -> Addr.vpn -> pte option
 (** The raw slot, valid or not (interlocked ref/mod writeback needs to

@@ -15,7 +15,17 @@
    cost is O(1) instead of a scan of every slot; [insert] guarantees at
    most one slot per (space, vpn), which is what makes the index sound.
    Range and space-wide operations still scan — they are rare (shootdown
-   responders, context switches) and must visit every slot anyway. *)
+   responders, context switches) and must visit every slot anyway.
+
+   In front of the hash index sits a small direct-mapped cache of
+   (packed key -> slot) pairs in two int arrays.  A fast-path hit is two
+   array probes plus a validation read of the slot itself — no hashing,
+   no [Hashtbl] bucket walk, no [Some] from [find_opt].  The cache is
+   allowed to go stale (invalidates and FIFO evictions do not clear it):
+   every hit re-checks that the indexed slot still holds an entry for
+   exactly this (space, vpn), and since [insert] keeps at most one slot
+   per key, a validated slot is *the* slot.  Mismatches fall back to the
+   authoritative hash index. *)
 
 type entry = {
   space : int;
@@ -27,10 +37,18 @@ type entry = {
   pte : Page_table.pte; (* source PTE, target of ref/mod writeback *)
 }
 
+(* Direct-mapped fast-path cache size; a power of two so the hash is one
+   mask.  256 entries comfortably covers the hot working set of a trial
+   while staying cache-resident on the host. *)
+let fp_size = 256
+let fp_mask = fp_size - 1
+
 type t = {
   size : int;
   slots : entry option array;
   index : (int, int) Hashtbl.t; (* packed (space, vpn) -> slot *)
+  fp_keys : int array; (* direct-mapped cache: packed key, -1 = empty *)
+  fp_slots : int array; (* ... -> candidate slot, validated on hit *)
   mutable live : int; (* occupied slots, keeps [resident] O(1) *)
   mutable fifo_next : int;
   (* statistics *)
@@ -45,6 +63,8 @@ let create ~size =
     size;
     slots = Array.make size None;
     index = Hashtbl.create (2 * size);
+    fp_keys = Array.make fp_size (-1);
+    fp_slots = Array.make fp_size 0;
     live = 0;
     fifo_next = 0;
     hits = 0;
@@ -66,20 +86,40 @@ let clear_slot t i =
       t.slots.(i) <- None;
       t.live <- t.live - 1
 
-let lookup t ~space ~vpn =
-  match Hashtbl.find_opt t.index (key ~space ~vpn) with
+(* Authoritative lookup through the hash index; refreshes the
+   direct-mapped cache line [h] for the packed key [k]. *)
+let lookup_slow t k h =
+  match Hashtbl.find_opt t.index k with
   | Some i ->
+      t.fp_keys.(h) <- k;
+      t.fp_slots.(h) <- i;
       t.hits <- t.hits + 1;
       t.slots.(i)
   | None ->
       t.misses <- t.misses + 1;
       None
 
+let lookup t ~space ~vpn =
+  let k = key ~space ~vpn in
+  let h = k land fp_mask in
+  if t.fp_keys.(h) = k then begin
+    let i = t.fp_slots.(h) in
+    match t.slots.(i) with
+    | Some e when e.space = space && e.vpn = vpn ->
+        (* Validated: [insert] keeps at most one slot per key, so this is
+           the current entry.  Return the stored option — no allocation. *)
+        t.hits <- t.hits + 1;
+        t.slots.(i)
+    | Some _ | None -> lookup_slow t k h
+  end
+  else lookup_slow t k h
+
 (* FIFO replacement, as on simple hardware of the period. *)
 let insert t entry =
+  let k = key ~space:entry.space ~vpn:entry.vpn in
   (* Replace an existing translation for the same page, if any. *)
   let slot =
-    match Hashtbl.find_opt t.index (key ~space:entry.space ~vpn:entry.vpn) with
+    match Hashtbl.find_opt t.index k with
     | Some i -> i
     | None ->
         let i = t.fifo_next in
@@ -89,7 +129,9 @@ let insert t entry =
   clear_slot t slot;
   t.slots.(slot) <- Some entry;
   t.live <- t.live + 1;
-  Hashtbl.replace t.index (key ~space:entry.space ~vpn:entry.vpn) slot
+  Hashtbl.replace t.index k slot;
+  t.fp_keys.(k land fp_mask) <- k;
+  t.fp_slots.(k land fp_mask) <- slot
 
 let invalidate_page t ~space ~vpn =
   match Hashtbl.find_opt t.index (key ~space ~vpn) with

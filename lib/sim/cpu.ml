@@ -15,7 +15,11 @@ type t = {
   prng : Prng.t;
   ctl : Interrupt.controller;
   mutable ipl : Interrupt.level;
-  mutable sleeper : Engine.wakener option; (* current interruptible sleep *)
+  mutable sleeper : Engine.wakener; (* current interruptible sleep;
+                                       [Engine.no_wakener] when awake *)
+  mutable sleep_dt : float; (* argument slot for [sleep_register] *)
+  mutable sleep_register : Engine.wakener -> unit;
+      (* suspend registration for [interruptible_sleep], allocated once *)
   mutable idle : bool;
   mutable in_interrupt : bool;
   mutable shootdown_handler : t -> unit;
@@ -71,13 +75,13 @@ let raw_delay t cost =
 
 (* Advance time interruptibly: if an interrupt is posted mid-sleep, the
    sleep is cut short so the handler's latency is the dispatch cost, not
-   the remaining sleep. *)
+   the remaining sleep.  This is the simulator's hottest path (every idle
+   CPU polls through it), so the registration closure is allocated once
+   per CPU and the duration travels through [sleep_dt]. *)
 let interruptible_sleep t dt =
-  let eng = t.eng in
-  Engine.suspend (fun w ->
-      t.sleeper <- Some w;
-      Engine.after eng dt (fun () -> Engine.wake eng w));
-  t.sleeper <- None
+  t.sleep_dt <- dt;
+  Engine.suspend t.sleep_register;
+  t.sleeper <- Engine.no_wakener
 
 (* Interrupt nesting follows priority: inside a handler the IPL equals the
    handler's level, so only strictly higher-priority interrupts (e.g. the
@@ -145,6 +149,7 @@ let default_device_handler cpu =
   masked_service cpu (Prng.exponential cpu.prng cpu.params.device_intr_service)
 
 let create eng bus (params : Params.t) ~id =
+  let t =
   {
     id;
     eng;
@@ -153,7 +158,9 @@ let create eng bus (params : Params.t) ~id =
     prng = Prng.create (Int64.add params.seed (Int64.of_int (0x1000 * (id + 1))));
     ctl = Interrupt.make_controller ();
     ipl = Interrupt.ipl_none;
-    sleeper = None;
+    sleeper = Engine.no_wakener;
+    sleep_dt = 0.0;
+    sleep_register = ignore;
     idle = true;
     in_interrupt = false;
     shootdown_handler = (fun _ -> ());
@@ -168,6 +175,12 @@ let create eng bus (params : Params.t) ~id =
     note = "boot";
     profile = None;
   }
+  in
+  t.sleep_register <-
+    (fun w ->
+      t.sleeper <- w;
+      Engine.wake_after t.eng t.sleep_dt w);
+  t
 
 (* Post an interrupt to this CPU (from any coroutine).  If the CPU is in an
    interruptible sleep and the interrupt is deliverable, cut the sleep
@@ -175,10 +188,7 @@ let create eng bus (params : Params.t) ~id =
 let really_post t kind =
   let level = Interrupt.level_of t.params kind in
   Interrupt.post t.ctl { kind; level; posted_at = Engine.now t.eng };
-  if level > t.ipl then
-    match t.sleeper with
-    | Some w -> Engine.wake t.eng w
-    | None -> ()
+  if level > t.ipl then Engine.wake t.eng t.sleeper
 
 (* The fault injector intercepts shootdown IPIs on the *target* side of
    the wire: the initiator has already paid the send cost and bus access,

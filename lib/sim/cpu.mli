@@ -18,7 +18,10 @@ type t = {
   prng : Prng.t;
   ctl : Interrupt.controller;
   mutable ipl : Interrupt.level;
-  mutable sleeper : Engine.wakener option;
+  mutable sleeper : Engine.wakener;
+      (** current interruptible sleep; [Engine.no_wakener] when awake *)
+  mutable sleep_dt : float;
+  mutable sleep_register : Engine.wakener -> unit;
   mutable idle : bool; (** maintained by the scheduler's idle loop *)
   mutable in_interrupt : bool;
   mutable shootdown_handler : t -> unit;

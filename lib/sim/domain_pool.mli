@@ -1,11 +1,15 @@
 (** Work-stealing pool over OCaml 5 [Domain]s for independent trial
-    sweeps.
+    sweeps: per-worker lock-free SPMC deques seeded with a round-robin
+    partition of the trial indices; a worker pops its own deque from the
+    tail and, when it drains, steals from the head of a victim chosen by
+    a bounded randomized-start scan.
 
     The determinism contract (see docs/PARALLELISM.md): a trial function
     given to {!map_trials} must depend only on its input — in practice,
     boot a fresh machine from a per-trial seed — and must not touch state
     shared with other trials.  Under that contract the result is
-    bit-for-bit identical for every [jobs] value. *)
+    bit-for-bit identical for every [jobs] value; which worker runs a
+    given trial is the only thing scheduling may change. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the [--jobs] default of the

@@ -11,7 +11,18 @@
    The counter handle is resolved when the event is *scheduled* — the
    handles for the engine's own labels are resolved once at creation — so
    the per-event [step] does a direct field increment instead of a
-   string-keyed hashtable lookup. *)
+   string-keyed hashtable lookup.
+
+   The heap payload is a three-word variant, not a closure: the hot event
+   shapes (timer expiry, wake, delay resumption — the idle-loop polling
+   traffic that dominates every run) carry their wakener or continuation
+   directly, so scheduling them allocates one small short-lived cell and
+   dispatching them allocates nothing.  Only [at]/[after]/[spawn] — the
+   cold, user-facing sites — carry a thunk.  A free-list cell pool was
+   tried and measured *slower*: recycled cells get promoted to the major
+   heap, so refilling them with young pointers pays a write barrier and
+   remembered-set entry per store, which costs more than letting the
+   minor collector reclaim dead three-word cells for free. *)
 
 (* Diagnostic payload for a blown event budget: when it happened, how much
    work was done, and what was still scheduled — the pending-kind summary
@@ -42,9 +53,25 @@ let () =
 
 type wakener = {
   mutable fired : bool;
-  mutable resume : unit -> unit; (* schedules the parked continuation *)
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+      (* the parked coroutine; taken (set to None) when the wake fires *)
   wshard : int; (* event-heap shard the parked coroutine resumes on *)
 }
+
+(* Pre-fired sentinel: waking it is a no-op.  Never mutated (fired stays
+   true), so sharing it across engines — and domains — is safe. *)
+let no_wakener = { fired = true; cont = None; wshard = 0 }
+
+(* One scheduled event.  The counter comes first in every arm so [step]
+   can increment it with a single or-pattern match. *)
+type ev =
+  | Ev_thunk of Instrument.Metrics.counter * (unit -> unit)
+      (* at / after / spawn: run the thunk *)
+  | Ev_timer of Instrument.Metrics.counter * wakener
+      (* timer expiry: wake the wakener (no-op if already woken) *)
+  | Ev_resume of
+      Instrument.Metrics.counter * (unit, unit) Effect.Deep.continuation
+      (* resume a parked coroutine (wake delivery, delay expiry) *)
 
 type _ Effect.t +=
   | Delay : float -> unit Effect.t
@@ -54,8 +81,9 @@ type t = {
   mutable now : float;
   mutable seq : int;
   mutable events : int; (* total processed, for runaway detection *)
+  mutable events_flushed : int; (* portion already added to the global *)
   mutable max_events : int;
-  heap : (Instrument.Metrics.counter * (unit -> unit)) Heap.t;
+  heap : ev Heap.t;
   mutable cur_shard : int;
       (* shard of the event being executed; events it schedules inherit
          it, so a coroutine's activity stays on its home shard *)
@@ -71,6 +99,19 @@ type t = {
   c_spawn : Instrument.Metrics.counter;
 }
 
+(* Events processed by every engine that finished a [run]/[run_until],
+   across all domains — the denominator for the bench harness's
+   allocation-per-event telemetry. *)
+let global_events = Atomic.make 0
+let total_events () = Atomic.get global_events
+
+let flush_events t =
+  let delta = t.events - t.events_flushed in
+  if delta > 0 then begin
+    t.events_flushed <- t.events;
+    ignore (Atomic.fetch_and_add global_events delta)
+  end
+
 let create ?(seed = 0x5EEDL) ?(max_events = 200_000_000) ?(shards = 1) () =
   let metrics = Instrument.Metrics.create () in
   let c_at = Instrument.Metrics.counter metrics "at" in
@@ -78,8 +119,9 @@ let create ?(seed = 0x5EEDL) ?(max_events = 200_000_000) ?(shards = 1) () =
     now = 0.0;
     seq = 0;
     events = 0;
+    events_flushed = 0;
     max_events;
-    heap = Heap.create ~shards ~dummy:(c_at, ignore) ();
+    heap = Heap.create ~shards ~dummy:(Ev_thunk (c_at, ignore)) ();
     cur_shard = 0;
     prng = Prng.create seed;
     live = 0;
@@ -99,10 +141,15 @@ let events_processed t = t.events
 let pending t = Heap.length t.heap
 let shards t = Heap.shards t.heap
 
-let schedule_on t ~shard counter time thunk =
+(* All schedule paths funnel through here so (time clamp, seq assignment,
+   heap order) are identical whatever the event shape. *)
+let[@inline] push_ev t ~shard time ev =
   let time = if time < t.now then t.now else time in
   t.seq <- t.seq + 1;
-  Heap.push t.heap ~shard time t.seq (counter, thunk)
+  Heap.push t.heap ~shard time t.seq ev
+
+let schedule_on t ~shard counter time thunk =
+  push_ev t ~shard time (Ev_thunk (counter, thunk))
 
 let schedule t counter time thunk =
   schedule_on t ~shard:t.cur_shard counter time thunk
@@ -134,9 +181,19 @@ let suspend register = Effect.perform (Suspend register)
 let wake t w =
   if not w.fired then begin
     w.fired <- true;
-    (* resume on the parkee's home shard, not the waker's *)
-    schedule_on t ~shard:w.wshard t.c_wake t.now w.resume
+    match w.cont with
+    | Some k ->
+        w.cont <- None;
+        (* resume on the parkee's home shard, not the waker's *)
+        push_ev t ~shard:w.wshard t.now (Ev_resume (t.c_wake, k))
+    | None -> ()
   end
+
+(* Timer-driven wake: schedules an event that, when it pops, wakes [w]
+   (a no-op if something else woke it first).  Equivalent to
+   [after t dt (fun () -> wake t w)] without the closure. *)
+let wake_after t dt w =
+  push_ev t ~shard:t.cur_shard (t.now +. dt) (Ev_timer (t.c_after, w))
 
 let spawn t ?(name = "coroutine") ?shard fn =
   let shard = match shard with Some s -> s | None -> t.cur_shard in
@@ -163,28 +220,30 @@ let spawn t ?(name = "coroutine") ?shard fn =
             | Delay dt ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    schedule t t.c_delay (t.now +. dt) (fun () ->
-                        continue k ()))
+                    push_ev t ~shard:t.cur_shard (t.now +. dt)
+                      (Ev_resume (t.c_delay, k)))
             | Suspend register ->
                 Some
                   (fun (k : (a, unit) continuation) ->
                     let w =
-                      { fired = false; resume = ignore; wshard = t.cur_shard }
+                      { fired = false; cont = Some k; wshard = t.cur_shard }
                     in
-                    w.resume <- (fun () -> continue k ());
                     register w)
             | _ -> None);
       }
   in
   schedule_on t ~shard t.c_spawn t.now fiber
 
+let[@inline] counter_of_ev = function
+  | Ev_thunk (c, _) | Ev_timer (c, _) | Ev_resume (c, _) -> c
+
 let step t =
   if Heap.is_empty t.heap then false
   else begin
     let time = Heap.min_time t.heap in
-    let counter, thunk = Heap.pop_payload t.heap in
+    let ev = Heap.pop_payload t.heap in
     t.cur_shard <- Heap.last_shard t.heap;
-    Instrument.Metrics.inc counter;
+    Instrument.Metrics.inc (counter_of_ev ev);
     t.now <- time;
     t.events <- t.events + 1;
     if t.events > t.max_events then begin
@@ -192,12 +251,12 @@ let step t =
          the stuck site usually dominates the histogram.  The event just
          popped has not executed, so it counts as pending too. *)
       let tally = Hashtbl.create 16 in
-      let count (counter, _) =
-        let name = Instrument.Metrics.counter_name counter in
+      let count ev =
+        let name = Instrument.Metrics.counter_name (counter_of_ev ev) in
         let n = try Hashtbl.find tally name with Not_found -> 0 in
         Hashtbl.replace tally name (n + 1)
       in
-      count (counter, thunk);
+      count ev;
       Heap.iter_payloads count t.heap;
       let pending =
         Hashtbl.fold (fun name n acc -> (name, n) :: acc) tally []
@@ -212,14 +271,18 @@ let step t =
              runaway_pending = pending;
            })
     end;
-    thunk ();
+    (match ev with
+    | Ev_thunk (_, thunk) -> thunk ()
+    | Ev_timer (_, w) -> wake t w
+    | Ev_resume (_, k) -> Effect.Deep.continue k ());
     true
   end
 
 let run t =
   while step t do
     ()
-  done
+  done;
+  flush_events t
 
 let run_until t limit =
   let continue_ = ref true in
@@ -233,4 +296,5 @@ let run_until t limit =
       end
       else ignore (step t)
     end
-  done
+  done;
+  flush_events t

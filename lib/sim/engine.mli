@@ -81,6 +81,21 @@ val suspend : (wakener -> unit) -> unit
 val wake : t -> wakener -> unit
 (** Resume a parked coroutine at the current instant (idempotent). *)
 
+val wake_after : t -> float -> wakener -> unit
+(** [wake_after t dt w] arranges for [wake t w] after [dt] microseconds —
+    the allocation-free equivalent of
+    [after t dt (fun () -> wake t w)] (same ["after"] event label, same
+    event/sequence structure), used by the timer-sleep hot path. *)
+
+val no_wakener : wakener
+(** A pre-fired sentinel: {!wake} on it is a no-op.  Lets hot records
+    hold a [wakener] field without an [option] box. *)
+
+val total_events : unit -> int
+(** Events processed by every engine that completed a {!run} or
+    {!run_until}, summed across all domains since program start — the
+    denominator for allocation-per-event telemetry. *)
+
 val step : t -> bool
 (** Process one event; [false] if the heap is empty. *)
 

@@ -32,29 +32,53 @@ type pending = {
 
 (* A tiny pending set: at most one entry per kind is kept, matching real
    interrupt controllers where a posted-but-undelivered interrupt line does
-   not stack. *)
-type controller = { mutable pending : pending list }
+   not stack.  One slot per kind — checked on every [Cpu.check_interrupts],
+   so the representation is two fields probed with no allocation and no
+   polymorphic comparison. *)
+type controller = {
+  mutable p_shootdown : pending option;
+  mutable p_device : pending option;
+}
 
-let make_controller () = { pending = [] }
+let make_controller () = { p_shootdown = None; p_device = None }
 
 let post ctl p =
-  if not (List.exists (fun q -> q.kind = p.kind) ctl.pending) then
-    ctl.pending <- p :: ctl.pending
+  match p.kind with
+  | Shootdown -> (
+      match ctl.p_shootdown with
+      | None -> ctl.p_shootdown <- Some p
+      | Some _ -> ())
+  | Device -> (
+      match ctl.p_device with
+      | None -> ctl.p_device <- Some p
+      | Some _ -> ())
 
-let has_pending ctl kind = List.exists (fun q -> q.kind = kind) ctl.pending
+let has_pending ctl kind =
+  match kind with
+  | Shootdown -> ( match ctl.p_shootdown with Some _ -> true | None -> false)
+  | Device -> ( match ctl.p_device with Some _ -> true | None -> false)
 
-(* Highest-priority pending interrupt strictly above [ipl], if any. *)
+(* Highest-priority pending interrupt strictly above [ipl], if any.  The
+   two kinds are never wired to the same level (Shootdown is ipl_vm or
+   ipl_high - 1, Device is ipl_device), so there is no tie to break.
+   Returns the stored option — no allocation on this per-slice path. *)
 let deliverable ctl ~ipl =
-  let best =
-    List.fold_left
-      (fun acc p ->
-        if p.level > ipl then
-          match acc with
-          | Some q when q.level >= p.level -> acc
-          | _ -> Some p
-        else acc)
-      None ctl.pending
+  let s =
+    match ctl.p_shootdown with
+    | Some p when p.level > ipl -> ctl.p_shootdown
+    | _ -> None
   in
-  best
+  let d =
+    match ctl.p_device with
+    | Some p when p.level > ipl -> ctl.p_device
+    | _ -> None
+  in
+  match (s, d) with
+  | Some ps, Some pd -> if pd.level > ps.level then d else s
+  | Some _, None -> s
+  | None, r -> r
 
-let take ctl p = ctl.pending <- List.filter (fun q -> q.kind <> p.kind) ctl.pending
+let take ctl p =
+  match p.kind with
+  | Shootdown -> ctl.p_shootdown <- None
+  | Device -> ctl.p_device <- None

@@ -101,9 +101,7 @@ let engine t = t.eng
 let poke t ~bound ~home =
   let try_poke cpu =
     if cpu.Cpu.idle then begin
-      (match cpu.Cpu.sleeper with
-      | Some w -> Engine.wake t.eng w
-      | None -> ());
+      Engine.wake t.eng cpu.Cpu.sleeper;
       true
     end
     else false

@@ -9,6 +9,8 @@
 
 type t = {
   name : string;
+  note_acquire : string; (* diagnostic notes, precomputed so the *)
+  note_holding : string; (* acquire path never concatenates *)
   level : Interrupt.level;
   mutable holder : int; (* CPU id, or -1 when free *)
   mutable acquisitions : int;
@@ -17,7 +19,8 @@ type t = {
 }
 
 let create ?(level = Interrupt.ipl_vm) name =
-  { name; level; holder = -1; acquisitions = 0; contentions = 0;
+  { name; note_acquire = "acquire:" ^ name; note_holding = "holding:" ^ name;
+    level; holder = -1; acquisitions = 0; contentions = 0;
     acquired_at = 0.0 }
 
 let is_locked t = t.holder >= 0
@@ -32,7 +35,7 @@ let acquire t (cpu : Cpu.t) =
   if t.holder = Cpu.id cpu then
     invalid_arg (Printf.sprintf "Spinlock.acquire: %s already held by cpu%d"
                    t.name (Cpu.id cpu));
-  cpu.Cpu.note <- "acquire:" ^ t.name;
+  cpu.Cpu.note <- t.note_acquire;
   let contended = ref false in
   let wait_started = Cpu.now cpu in
   Cpu.prof_enter cpu Instrument.Profile.Lock_spin;
@@ -50,7 +53,7 @@ let acquire t (cpu : Cpu.t) =
   Cpu.prof_leave cpu;
   Cpu.prof_observe cpu ~name:"lock/wait_us" (Cpu.now cpu -. wait_started);
   t.acquired_at <- Cpu.now cpu;
-  cpu.Cpu.note <- "holding:" ^ t.name;
+  cpu.Cpu.note <- t.note_holding;
   if !contended then t.contentions <- t.contentions + 1;
   t.acquisitions <- t.acquisitions + 1;
   (* Cost of the interlocked test-and-set that succeeded. *)

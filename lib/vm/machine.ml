@@ -74,7 +74,7 @@ let install_software_reload ctx (mmus : Mmu.t array) =
                   Sim.Cpu.spin_poll ctx.Pmap.cpus.(id)
                 done
             | None -> ());
-            Page_table.lookup sp.Mmu.pt vpn))
+            Page_table.find sp.Mmu.pt vpn))
     mmus
 
 let spawn_device_daemons t =

@@ -139,6 +139,44 @@ let test_metrics_merge () =
 (* The determinism property: the Figure 2 sweep — per-trial seeds, fresh
    machine per trial — is identical at every job count. *)
 
+(* The pool-level determinism property: for any trial count (including
+   fewer trials than workers), any skew in per-trial cost (so fast
+   workers drain their deques and steal), and an optional mid-sweep
+   exception, both the result list and the raised error are identical at
+   jobs 1, 2, 4 and 8.  At most one trial fails per case: with several
+   failures the early-stop after the first one makes *which* failures
+   get recorded schedule-dependent, so only the single-failure error is
+   part of the determinism contract. *)
+exception Trial_failed of int
+
+let pool_identical_across_jobs =
+  QCheck.Test.make
+    ~name:"map_trials results+errors identical at jobs in {1,2,4,8}" ~count:25
+    QCheck.(
+      triple (int_range 0 40)
+        (array_of_size Gen.(return 8) (int_range 0 2000))
+        (option (int_range 0 39)))
+    (fun (n, weights, fail_at) ->
+      let f i =
+        (* busy-spin proportional to a generated weight: skewed trial
+           durations make stealing the common case, not the corner *)
+        let spin = ref 0 in
+        let w = if Array.length weights = 0 then 0 else weights.(i mod 8) in
+        for _ = 1 to w do
+          incr spin
+        done;
+        ignore !spin;
+        if fail_at = Some i then raise (Trial_failed i);
+        (i * 31) + 7
+      in
+      let outcome jobs =
+        match Pool.map_trials ~jobs f (List.init n Fun.id) with
+        | res -> Ok res
+        | exception Trial_failed i -> Error i
+      in
+      let seq = outcome 1 in
+      List.for_all (fun jobs -> outcome jobs = seq) [ 2; 4; 8 ])
+
 let figure2_identical_across_jobs =
   QCheck.Test.make ~name:"Figure2.run identical at jobs in {1,2,4}" ~count:4
     QCheck.(pair (int_range 2 4) (int_range 1 2))
@@ -174,5 +212,8 @@ let () =
         ] );
       ("metrics-merge", [ Alcotest.test_case "merge rules" `Quick test_metrics_merge ]);
       ( "determinism",
-        [ QCheck_alcotest.to_alcotest figure2_identical_across_jobs ] );
+        [
+          QCheck_alcotest.to_alcotest pool_identical_across_jobs;
+          QCheck_alcotest.to_alcotest figure2_identical_across_jobs;
+        ] );
     ]

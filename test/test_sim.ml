@@ -152,6 +152,29 @@ let prng_int_range =
       let x = Sim.Prng.int p bound in
       x >= 0 && x < bound)
 
+(* Reference SplitMix64 in boxed Int64 arithmetic (Steele, Lea & Flood),
+   pinning the production limb-based implementation to the published
+   sequence bit for bit. *)
+let reference_splitmix64 state =
+  let ( ^>> ) z n = Int64.logxor z (Int64.shift_right_logical z n) in
+  let s = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := s;
+  let z = Int64.mul (s ^>> 30) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (z ^>> 27) 0x94D049BB133111EBL in
+  z ^>> 31
+
+let prng_matches_reference =
+  QCheck.Test.make ~name:"prng = reference Int64 SplitMix64" ~count:200
+    QCheck.int64
+    (fun seed ->
+      let p = Sim.Prng.create seed in
+      let state = ref seed in
+      let ok = ref true in
+      for _ = 1 to 64 do
+        if Sim.Prng.next_int64 p <> reference_splitmix64 state then ok := false
+      done;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Bus: FCFS, no overlapping service *)
 
@@ -608,7 +631,7 @@ let () =
       ( "prng",
         Alcotest.test_case "deterministic" `Quick test_prng_deterministic
         :: List.map QCheck_alcotest.to_alcotest
-             [ prng_float_range; prng_int_range ] );
+             [ prng_float_range; prng_int_range; prng_matches_reference ] );
       ( "bus",
         [
           Alcotest.test_case "fcfs" `Quick test_bus_fcfs;
