@@ -186,6 +186,75 @@ let print_scale1024 ~jobs ~runs ~full ~cluster_size ~emit_json =
   else print_string (Experiments.Scale1024.render s);
   if not (Experiments.Scale1024.gate_holds s) then exit 1
 
+(* The model checker (docs/MODELCHECK.md): exhaustively explore the
+   shootdown protocol's small-configuration schedule space.  On a
+   violation, write a replayable counterexample and exit 1; --replay
+   re-runs a saved counterexample, optionally rendering it as a
+   Perfetto timeline. *)
+let run_check ~cpus ~depth ~max_schedules ~no_prune ~mutant ~scenario
+    ~emit_json ~cex_out ~replay ~perfetto =
+  match replay with
+  | Some file -> (
+      let text = In_channel.with_open_text file In_channel.input_all in
+      match Check.Explorer.parse_counterexample text with
+      | Error msg ->
+          prerr_endline msg;
+          exit 2
+      | Ok r ->
+          let trace =
+            match perfetto with
+            | Some _ -> Some (Instrument.Trace.create ())
+            | None -> None
+          in
+          let out = Check.Explorer.run_replay ?trace r in
+          (match (perfetto, trace) with
+          | Some file, Some tr ->
+              let oc = open_out file in
+              output_string oc (Instrument.Perfetto.to_string tr);
+              close_out oc;
+              Printf.printf "wrote %d spans to %s\n"
+                (Instrument.Trace.length tr)
+                file
+          | _ -> ());
+          (match out.Check.Scenario.verdict with
+          | Check.Scenario.Pass ->
+              Printf.printf
+                "replay: PASS (%d decisions) — the violation did not \
+                 reproduce\n"
+                (List.length out.Check.Scenario.decisions);
+              exit 1
+          | Check.Scenario.Violation { kind; detail } ->
+              Printf.printf "replay: %s violation reproduced\n  %s\n" kind
+                detail);
+          exit 0)
+  | None -> (
+      let mutant =
+        match Check.Scenario.mutant_of_string mutant with
+        | Ok m -> m
+        | Error msg ->
+            prerr_endline msg;
+            exit 2
+      in
+      let t =
+        Experiments.Modelcheck.run ~cpus ~depth ~max_schedules
+          ~prune:(not no_prune) ~mutant ?scenario ()
+      in
+      if emit_json then
+        print_string (Instrument.Json.to_string (Experiments.Modelcheck.to_json t))
+      else print_string (Experiments.Modelcheck.render t);
+      match Experiments.Modelcheck.first_violation t with
+      | None -> ()
+      | Some { result = r } ->
+          let oc = open_out cex_out in
+          output_string oc
+            (Instrument.Json.to_string (Check.Explorer.counterexample_json r));
+          close_out oc;
+          if not emit_json then
+            Printf.printf "counterexample written to %s (tlbshoot check \
+                           --replay %s)\n"
+              cex_out cex_out;
+          exit 1)
+
 let print_all ~jobs ~scale ~runs =
   print_figure2 ~jobs ~runs ~max_procs:15;
   print_newline ();
@@ -396,6 +465,98 @@ let scale1024_cmd =
           print_scale1024 ~jobs ~runs ~full ~cluster_size ~emit_json)
       $ jobs_arg $ runs_arg $ full_arg $ cluster_size_arg $ json_arg)
 
+let check_cmd =
+  let cpus_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "cpus" ]
+          ~doc:
+            "Requested processors per scenario (scenarios may round up; \
+             the clustered one needs at least 4).")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "depth" ]
+          ~doc:
+            "Expansion bound: only the first $(docv) choice positions of \
+             a schedule branch.")
+  in
+  let max_schedules_arg =
+    Arg.(
+      value & opt int 600
+      & info [ "max-schedules" ] ~doc:"Schedule cap per scenario.")
+  in
+  let no_prune_arg =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Disable fingerprint state pruning (slower, but exact — used \
+             to cross-check the reduction).")
+  in
+  let mutant_arg =
+    Arg.(
+      value & opt string "none"
+      & info [ "mutant" ]
+          ~doc:
+            "Seed a protocol bug: none|skip-barrier|\
+             skip-responder-invalidate.  The mutants must produce \
+             counterexamples; the healthy protocol must not.")
+  in
+  let scenario_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "scenario" ]
+          ~doc:
+            "Run one scenario instead of the whole matrix: \
+             plain|pair|lazy|batch|escalate|cluster.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the matrix as JSON (tlbshoot-check-v1).")
+  in
+  let cex_arg =
+    Arg.(
+      value
+      & opt string "check_counterexample.json"
+      & info [ "counterexample" ] ~docv:"FILE"
+          ~doc:"Where to write the counterexample on a violation.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Re-run a saved counterexample instead of exploring; exits 0 \
+             iff the violation reproduces.")
+  in
+  let perfetto_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "With --replay: render the replayed schedule as a Chrome \
+             trace-event file for ui.perfetto.dev.")
+  in
+  cmd "check"
+    "Model-check the shootdown protocol: exhaustively explore the \
+     interleavings of small configurations (event tie-breaks, spinlock \
+     acquisition order, interrupt delivery timing) and verify the \
+     consistency oracle, the stale-write property and deadlock freedom \
+     on every schedule (exits 1 on violation, with a replayable \
+     counterexample)"
+    Term.(
+      const (fun cpus depth max_schedules no_prune mutant scenario emit_json
+                cex_out replay perfetto ->
+          run_check ~cpus ~depth ~max_schedules ~no_prune ~mutant ~scenario
+            ~emit_json ~cex_out ~replay ~perfetto)
+      $ cpus_arg $ depth_arg $ max_schedules_arg $ no_prune_arg $ mutant_arg
+      $ scenario_arg $ json_arg $ cex_arg $ replay_arg $ perfetto_arg)
+
 let all_cmd =
   cmd "all" "Run every experiment"
     Term.(
@@ -426,6 +587,7 @@ let () =
         trace_cmd;
         profile_cmd;
         scale1024_cmd;
+        check_cmd;
         all_cmd;
       ]
   in

@@ -154,7 +154,15 @@ let flush g (cpu : Sim.Cpu.t) =
   g.ops <- 0;
   let thunks = List.rev g.deferred in
   g.deferred <- [];
-  List.iter (fun f -> f ()) thunks
+  List.iter (fun f -> f ()) thunks;
+  (* The retire point: the batch no longer covers its ranges and any
+     deferred frees just ran, so a stale translation surviving here is a
+     real violation — check it, instead of letting it hide until the next
+     shootdown-complete or quiescent checkpoint.  (Cost-free when no
+     oracle is attached, like every other checkpoint.) *)
+  match ctx.Pmap.oracle_check with
+  | Some check -> check "batch-flush"
+  | None -> ()
 
 let finish g (cpu : Sim.Cpu.t) =
   check_open g "finish";

@@ -36,6 +36,16 @@ type batch = {
       (* coalesced [lo, hi) ranges awaiting invalidation, sorted *)
 }
 
+(* Seeded protocol mutations for the model checker's self-test: a checker
+   that can never fail proves nothing, so the harness re-runs its
+   scenarios with one of these deliberate bugs switched on and demands a
+   counterexample.  [No_mutant] (the only value production code ever
+   sees) leaves the algorithm exactly as published. *)
+type mutant =
+  | No_mutant
+  | Skip_barrier (* initiator omits the phase-2 acknowledgement wait *)
+  | Skip_responder_invalidate (* responder drains without invalidating *)
+
 type ctx = {
   params : Sim.Params.t;
   eng : Sim.Engine.t;
@@ -74,6 +84,8 @@ type ctx = {
   mutable next_space : int;
   mutable open_batches : batch list;
       (* gather batches whose deferred invalidations have not yet run *)
+  mutable mutant : mutant;
+      (* model-checker-only protocol mutation; No_mutant in real runs *)
   (* --- statistics --- *)
   shoot_phase : string array; (* per-cpu diagnostic: initiator progress *)
   mutable shootdowns_initiated : int;
@@ -137,6 +149,7 @@ let create_ctx ~eng ~bus ~cpus ~mmus ~mem ~params ~xpr =
       kernel_pool_pmaps = [];
       next_space = 1;
       open_batches = [];
+      mutant = No_mutant;
       shoot_phase = Array.make n "-";
       shootdowns_initiated = 0;
       shootdowns_skipped_lazy = 0;

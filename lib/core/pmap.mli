@@ -29,6 +29,17 @@ type batch = {
     consistency oracle treats entries covered by an open batch like those
     of a draining responder: legal mid-protocol staleness. *)
 
+(** Seeded protocol mutations for the model checker's self-test: a
+    checker that can never fail proves nothing, so the harness re-runs
+    its scenarios with one of these deliberate bugs switched on and
+    demands a counterexample.  [No_mutant] — the only value production
+    code ever sets — leaves the algorithm exactly as published. *)
+type mutant =
+  | No_mutant
+  | Skip_barrier  (** initiator omits the phase-2 acknowledgement wait *)
+  | Skip_responder_invalidate
+      (** responder drains its queue without touching its TLB *)
+
 type ctx = {
   params : Sim.Params.t;
   eng : Sim.Engine.t;
@@ -64,6 +75,8 @@ type ctx = {
   mutable next_space : int;
   mutable open_batches : batch list;
       (** gather batches whose deferred invalidations have not yet run *)
+  mutable mutant : mutant;
+      (** model-checker-only protocol mutation; [No_mutant] in real runs *)
   shoot_phase : string array;  (** per-CPU diagnostic label *)
   mutable shootdowns_initiated : int;
   mutable shootdowns_skipped_lazy : int;

@@ -100,13 +100,22 @@ let process_queued_actions ctx (cpu : Sim.Cpu.t) =
   ctx.Pmap.draining.(id) <- true;
   ctx.Pmap.action_needed.(id) <- false;
   Sim.Spinlock.release q.Action.lock cpu ~saved_ipl:saved;
+  (* Seeded bug for the model checker's self-test (Pmap.mutant): the
+     responder drains its queue — clearing action_needed, satisfying the
+     initiator — but never touches its TLB, leaving the stale mapping
+     live.  Never set outside checker runs. *)
+  let skip_invalidate =
+    ctx.Pmap.mutant = Pmap.Skip_responder_invalidate
+  in
   let touched_kernel =
     match work with
     | `Flush_everything ->
         (* queue overflowed: the whole TLB goes, whatever was queued *)
         Shoot_trace.record_tlb ctx ~cpu:id ~space:(-1) ~pages:0 ~flush:true;
-        Tlb.flush_all (Mmu.tlb ctx.Pmap.mmus.(id));
-        Sim.Cpu.raw_delay cpu ctx.Pmap.params.tlb_flush_cost;
+        if not skip_invalidate then begin
+          Tlb.flush_all (Mmu.tlb ctx.Pmap.mmus.(id));
+          Sim.Cpu.raw_delay cpu ctx.Pmap.params.tlb_flush_cost
+        end;
         true
     | `Actions actions ->
         let touched_kernel =
@@ -129,7 +138,8 @@ let process_queued_actions ctx (cpu : Sim.Cpu.t) =
            is cheaper as one whole-buffer flush than as N range
            invalidations.  Gated on [batch_shootdowns] so that unbatched
            runs execute the historical per-action path unchanged. *)
-        if
+        if skip_invalidate then ()
+        else if
           ctx.Pmap.params.batch_shootdowns
           && List.length actions > 1
           && total_pages >= ctx.Pmap.params.tlb_flush_threshold
@@ -416,6 +426,12 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
       ctx.Pmap.cpus;
     let shoot_list = List.rev !shoot_list in
     send_ipis ctx cpu shoot_list;
+    (* Seeded bug for the model checker's self-test (Pmap.mutant): skip
+       the phase-2 acknowledgement barrier entirely and update the pmap
+       while responders may still translate through the old mapping.
+       Never set outside checker runs. *)
+    if ctx.Pmap.mutant = Pmap.Skip_barrier then ()
+    else begin
     (* Phase 2 barrier: wait for every interrupted processor to leave the
        active set or stop using the pmap.  When responders need not stall
        (software-reloaded TLB with safe ref/mod, section 9), they rejoin
@@ -478,6 +494,7 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
     Sim.Cpu.prof_observe cpu ~name:"shoot/barrier_us"
       (Sim.Cpu.now cpu -. barrier_started);
     Shoot_trace.record ctx ~code:Shoot_trace.c_barrier_done ~cpu:me ()
+    end
   end;
   let elapsed = Sim.Cpu.now cpu -. started in
   (* A shootdown event proper requires somebody to shoot at; invocations

@@ -72,6 +72,25 @@ let plans =
       plan = { F.none with F.queue_overflow_rate = 0.50 };
     };
     {
+      (* The model checker's worst small schedules in one plan: a late
+         IPI while the lock holder is preempted and the responder sits in
+         a masked stall — the three delays the exhaustive 2-CPU sweep
+         (docs/MODELCHECK.md) exercises one choice at a time, compounded
+         here at full scale and full rates. *)
+      key = "compound";
+      label = "late IPIs + preempted holders + stalled responders";
+      plan =
+        {
+          F.none with
+          F.ipi_delay_rate = 0.40;
+          ipi_delay_mean = 1_800.0;
+          responder_stall_rate = 0.50;
+          responder_stall_mean = 2_500.0;
+          lock_preempt_rate = 0.35;
+          lock_preempt_mean = 600.0;
+        };
+    };
+    {
       key = "chaos";
       label = "all of the above, moderated";
       plan =

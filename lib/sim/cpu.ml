@@ -90,6 +90,18 @@ let rec check_interrupts t =
     match Interrupt.deliverable t.ctl ~ipl:t.ipl with
     | None -> ()
     | Some p ->
+        (* Model-checker choice point: hardware gives no lower bound on
+           delivery latency, so a deliverable interrupt may be deferred
+           past this poll.  Deferral leaves it pending — the next poll
+           offers the choice again, and simulated time always advances
+           between polls, so a schedule cannot defer forever within its
+           event budget. *)
+        let deliver =
+          match Engine.explore t.eng with
+          | None -> true
+          | Some ex -> Explore.choose ex Explore.Intr 2 = 0
+        in
+        if deliver then begin
         Interrupt.take t.ctl p;
         let saved_ipl = t.ipl in
         t.ipl <- p.level;
@@ -130,6 +142,7 @@ let rec check_interrupts t =
         t.ipl <- saved_ipl;
         (* Lowering the level may expose further pending interrupts. *)
         check_interrupts t
+        end
 
 (* Service time that passes at a raised IPL but still lets strictly
    higher-priority interrupts in at short intervals — how real handlers

@@ -91,6 +91,9 @@ type t = {
   mutable live : int; (* spawned coroutines not yet finished *)
   metrics : Instrument.Metrics.t; (* per-label processed-event counters *)
   mutable tracer : Instrument.Trace.t option; (* structured span events *)
+  mutable explore : Explore.t option;
+      (* controlled-scheduling oracle; None (and cost-free) unless a
+         model-checking run attaches one *)
   (* pre-resolved counter handles for the engine's own schedule sites *)
   c_at : Instrument.Metrics.counter;
   c_after : Instrument.Metrics.counter;
@@ -127,6 +130,7 @@ let create ?(seed = 0x5EEDL) ?(max_events = 200_000_000) ?(shards = 1) () =
     live = 0;
     metrics;
     tracer = None;
+    explore = None;
     c_at;
     c_after = Instrument.Metrics.counter metrics "after";
     c_delay = Instrument.Metrics.counter metrics "delay";
@@ -171,6 +175,9 @@ let metrics t = t.metrics
 let label_counts t = Instrument.Metrics.counter_values t.metrics
 let set_tracer t tracer = t.tracer <- tracer
 let tracer t = t.tracer
+let set_explore t ex = t.explore <- ex
+let explore t = t.explore
+let set_max_events t n = t.max_events <- n
 
 let delay dt =
   if dt < 0.0 then invalid_arg "Engine.delay: negative duration";
@@ -237,12 +244,72 @@ let spawn t ?(name = "coroutine") ?shard fn =
 let[@inline] counter_of_ev = function
   | Ev_thunk (c, _) | Ev_timer (c, _) | Ev_resume (c, _) -> c
 
+(* Pending events as (delay-from-now, schedule label) pairs, sorted.
+   Part of the model checker's state fingerprint: together with the
+   machine snapshot, the scheduled future determines the rest of a run
+   up to the remaining choice points. *)
+let pending_summary t =
+  let acc = ref [] in
+  Heap.iter_entries
+    (fun time _seq ev ->
+      let label = Instrument.Metrics.counter_name (counter_of_ev ev) in
+      acc := (time -. t.now, label) :: !acc)
+    t.heap;
+  List.sort compare !acc
+
+(* Controlled pop under an attached explorer: collect every event tied
+   at [time], offer the explorer a choice among the *live* ones, push
+   the losers back under their original (time, seq) keys.  An expired
+   timer whose wakener already fired is a pure no-op — branching on its
+   position would multiply schedules without changing any behaviour —
+   so such events are elided from the choice (the harness's cheapest
+   partial-order reduction) and only run, in FIFO order, when nothing
+   live shares the instant. *)
+let pop_controlled t ex time =
+  let ties = ref [] in
+  let more = ref true in
+  while !more do
+    match Heap.peek_time t.heap with
+    | Some tm when tm = time ->
+        let _, seq, ev = Heap.pop t.heap in
+        ties := (Heap.last_shard t.heap, seq, ev) :: !ties
+    | Some _ | None -> more := false
+  done;
+  let ties = List.rev !ties (* (time, seq) order: FIFO is alternative 0 *) in
+  let live =
+    List.filter
+      (fun (_, _, ev) ->
+        match ev with Ev_timer (_, w) -> not w.fired | _ -> true)
+      ties
+  in
+  Explore.note_elision ex (List.length ties - List.length live);
+  let cshard, cseq, cev =
+    match live with
+    | [] -> List.hd ties (* all inert: run the oldest no-op *)
+    | [ only ] -> only
+    | _ :: _ :: _ ->
+        let c = Explore.choose ex Explore.Tie (List.length live) in
+        List.nth live c
+  in
+  List.iter
+    (fun (shard, seq, ev) ->
+      if seq <> cseq then Heap.push t.heap ~shard time seq ev)
+    ties;
+  t.cur_shard <- cshard;
+  cev
+
 let step t =
   if Heap.is_empty t.heap then false
   else begin
     let time = Heap.min_time t.heap in
-    let ev = Heap.pop_payload t.heap in
-    t.cur_shard <- Heap.last_shard t.heap;
+    let ev =
+      match t.explore with
+      | None ->
+          let ev = Heap.pop_payload t.heap in
+          t.cur_shard <- Heap.last_shard t.heap;
+          ev
+      | Some ex -> pop_controlled t ex time
+    in
     Instrument.Metrics.inc (counter_of_ev ev);
     t.now <- time;
     t.events <- t.events + 1;

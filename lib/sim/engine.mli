@@ -63,6 +63,27 @@ val set_tracer : t -> Instrument.Trace.t option -> unit
 
 val tracer : t -> Instrument.Trace.t option
 
+val set_explore : t -> Explore.t option -> unit
+(** Attach (or detach) a model-checking explorer.  With one attached,
+    {!step} collects all events tied at the next instant and lets the
+    explorer order the live ones ({!Explore.kind} [Tie]); the interrupt
+    and spinlock layers likewise consult it at their choice points.
+    Detached (the default) the engine takes a single [None] branch per
+    event and behaves exactly as before. *)
+
+val explore : t -> Explore.t option
+(** The attached explorer, if any — the hook the interrupt-delivery and
+    lock-acquisition choice points read. *)
+
+val set_max_events : t -> int -> unit
+(** Override the {!Runaway} event budget.  Model-checking runs shrink it
+    so a deadlocking schedule is detected in milliseconds instead of
+    after the default 2×10{^8} events. *)
+
+val pending_summary : t -> (float * string) list
+(** Pending events as sorted [(delay from now, schedule label)] pairs —
+    folded into the model checker's state fingerprints. *)
+
 val spawn : t -> ?name:string -> ?shard:int -> (unit -> unit) -> unit
 (** Start a coroutine at the current instant.  The body may perform
     {!delay} and {!suspend}.  [shard] pins the coroutine's events to one

@@ -187,3 +187,14 @@ let iter_payloads f h =
         f s.vals.(i)
       done)
     h.subs
+
+(* Full-entry variant of [iter_payloads], same ordering caveat.  The
+   model checker uses it to fold pending (time, label) pairs into a
+   state fingerprint. *)
+let iter_entries f h =
+  Array.iter
+    (fun s ->
+      for i = 0 to s.size - 1 do
+        f s.times.(i) s.seqs.(i) s.vals.(i)
+      done)
+    h.subs

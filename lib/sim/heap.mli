@@ -54,3 +54,8 @@ val iter_payloads : ('a -> unit) -> 'a t -> unit
 (** Apply [f] to every pending payload across {e all} shards, in
     per-shard heap (not time) order.  For diagnostics — e.g. summarising
     what was still scheduled when a run blew its event budget. *)
+
+val iter_entries : (float -> int -> 'a -> unit) -> 'a t -> unit
+(** Like {!iter_payloads} but passing each entry's [(time, seq)] key as
+    well — the model checker folds pending events into its state
+    fingerprints with this. *)

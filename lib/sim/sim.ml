@@ -4,6 +4,7 @@ module Heap = Heap
 module Prng = Prng
 module Fault = Fault
 module Params = Params
+module Explore = Explore
 module Engine = Engine
 module Bus = Bus
 module Interrupt = Interrupt

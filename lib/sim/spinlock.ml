@@ -40,9 +40,20 @@ let acquire t (cpu : Cpu.t) =
   let wait_started = Cpu.now cpu in
   Cpu.prof_enter cpu Instrument.Profile.Lock_spin;
   (* No effect is performed between the final emptiness check and taking
-     ownership, so the test-and-set below is atomic in simulated time. *)
+     ownership, so the test-and-set below is atomic in simulated time.
+     Under a model-checking explorer a free lock may also be *deferred*
+     (one more spin before the grab) — the schedule where another CPU's
+     test-and-set wins the race.  Each retry re-consults, and the spin
+     advances time, so deferral is bounded by the run's event budget. *)
   let rec wait () =
-    if t.holder >= 0 then begin
+    let defer =
+      t.holder < 0
+      &&
+      match Engine.explore cpu.Cpu.eng with
+      | None -> false
+      | Some ex -> Explore.choose ex Explore.Lock 2 = 1
+    in
+    if t.holder >= 0 || defer then begin
       contended := true;
       Cpu.spin_poll_masked cpu;
       wait ()

@@ -82,7 +82,10 @@ let body ?(cfg = default_config) (machine : Machine.t) self =
        ~access:Addr.Write_access
    with
   | Ok () -> ()
-  | Error _ -> failwith "agora: graph init failed");
+  | Error _ ->
+      let c = Sim.Sched.current_cpu self in
+      Driver.fault ~workload:"agora" ~what:"graph init failed"
+        ~cpu:(Sim.Cpu.id c) ~now:(Sim.Cpu.now c) ());
   let barrier = make_barrier () in
   let parties = cfg.workers + 1 in
   let stop = ref false in

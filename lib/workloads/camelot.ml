@@ -54,7 +54,10 @@ let body ?(cfg = default_config) (machine : Machine.t) self =
        ~access:Addr.Write_access
    with
   | Ok () -> ()
-  | Error _ -> failwith "camelot: segment init failed");
+  | Error _ ->
+      let c = Sim.Sched.current_cpu self in
+      Driver.fault ~workload:"camelot" ~what:"segment init failed"
+        ~cpu:(Sim.Cpu.id c) ~now:(Sim.Cpu.now c) ());
   (* Start write-protected, as after recovery. *)
   Vm_map.protect vms self task.Task.map ~lo:db ~hi:(db + cfg.db_pages)
     ~prot:Addr.Prot_read;
@@ -93,7 +96,10 @@ let body ?(cfg = default_config) (machine : Machine.t) self =
                   with
                   | Ok () -> ()
                   | Error _ when tries < 8 -> dirty vpn (tries + 1)
-                  | Error _ -> failwith "camelot: db write failed"
+                  | Error _ ->
+                      let c = cpu () in
+                      Driver.fault ~workload:"camelot" ~what:"db write failed"
+                        ~cpu:(Sim.Cpu.id c) ~now:(Sim.Cpu.now c) ()
                 in
                 List.iter (fun vpn -> dirty vpn 0) pages;
                 Sim.Cpu.step (cpu ()) (Sim.Prng.exponential wprng cfg.think_mean);

@@ -5,6 +5,28 @@
 module Summary = Instrument.Summary
 module Stats = Instrument.Stats
 
+(* Structured replacement for the workloads' historical bare [failwith]s,
+   following Sched.Broken_invariant: a model-checker counterexample (or a
+   fault-run backtrace) then reports *where* the workload died — which
+   application, which self-check, on which CPU, at what simulated time —
+   instead of a bare string. *)
+exception
+  Workload_fault of { workload : string; what : string; cpu : int; now : float }
+
+let () =
+  Printexc.register_printer (function
+    | Workload_fault { workload; what; cpu; now } ->
+        Some
+          (Printf.sprintf "Workload_fault(%s): %s (cpu%d, t=%.1f)" workload
+             what cpu now)
+    | _ -> None)
+
+(* Raise-site helper: [cpu]/[now] default to the no-context markers used
+   by Sched.Broken_invariant when the raise happens outside the
+   simulation. *)
+let fault ~workload ~what ?(cpu = -1) ?(now = Float.nan) () =
+  raise (Workload_fault { workload; what; cpu; now })
+
 type report = {
   name : string;
   runtime : float; (* simulated us, start to finish *)

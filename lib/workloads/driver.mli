@@ -2,6 +2,19 @@
     5.2): run a workload on a fresh machine and extract the measurements
     in the shape of Tables 1-4. *)
 
+exception
+  Workload_fault of { workload : string; what : string; cpu : int; now : float }
+(** A workload self-check failed (e.g. a writer observed a stale counter,
+    or memory it expected to fault stayed writable).  Follows the
+    [Sched.Broken_invariant] convention: [cpu] is [-1] and [now] is [nan]
+    where that context does not exist at the raise site.  Registered with
+    [Printexc], so counterexample traces and fault-run backtraces print
+    the full context. *)
+
+val fault : workload:string -> what:string -> ?cpu:int -> ?now:float -> unit -> 'a
+(** Raise {!Workload_fault} with the given context (defaults: [cpu = -1],
+    [now = nan]). *)
+
 type report = {
   name : string;
   runtime : float; (** simulated us *)

@@ -60,7 +60,10 @@ let compile_job (machine : Machine.t) self ~cfg ~prng ~job_id =
        ~pages:cfg.source_pages ~access:Addr.Read_access
    with
   | Ok () -> ()
-  | Error _ -> failwith "mach_build: source fault failed");
+  | Error _ ->
+      let c = cpu () in
+      Driver.fault ~workload:"mach_build" ~what:"source fault failed"
+        ~cpu:(Sim.Cpu.id c) ~now:(Sim.Cpu.now c) ());
   (* The compilation proper: kernel buffer churn.  Under batching every
      free in the job joins one kernel-map batch, so the shootdown rounds
      coalesce (the batch auto-flushes past [batch_max_ops]); unbatched,
@@ -76,7 +79,11 @@ let compile_job (machine : Machine.t) self ~cfg ~prng ~job_id =
               ~access:Addr.Write_access
           with
           | Ok () -> ()
-          | Error _ -> failwith "mach_build: kernel buffer fault failed"
+          | Error _ ->
+              let c = cpu () in
+              Driver.fault ~workload:"mach_build"
+                ~what:"kernel buffer fault failed" ~cpu:(Sim.Cpu.id c)
+                ~now:(Sim.Cpu.now c) ()
         end;
         Sim.Cpu.kernel_step (cpu ()) (Sim.Prng.exponential prng 300.0);
         Kmem.free ?batch vms self kmap ~vpn:buf ~pages:cfg.buffer_pages

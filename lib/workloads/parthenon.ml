@@ -76,7 +76,10 @@ let prover_run (machine : Machine.t) self ~cfg ~prng ~run_id =
                  ~access:Addr.Write_access
              with
              | Ok () -> ()
-             | Error _ -> failwith "parthenon: kernel stack fault");
+             | Error _ ->
+                 let c = cpu () in
+                 Driver.fault ~workload:"parthenon" ~what:"kernel stack fault"
+                   ~cpu:(Sim.Cpu.id c) ~now:(Sim.Cpu.now c) ());
           let continue_ = ref true in
           while !continue_ do
             Sim.Sync.lock sched worker pile;
@@ -100,7 +103,10 @@ let prover_run (machine : Machine.t) self ~cfg ~prng ~run_id =
                    ~access:Addr.Write_access
                with
               | Ok () -> ()
-              | Error _ -> failwith "parthenon: result fault");
+              | Error _ ->
+                  let c = cpu () in
+                  Driver.fault ~workload:"parthenon" ~what:"result fault"
+                    ~cpu:(Sim.Cpu.id c) ~now:(Sim.Cpu.now c) ());
               Sim.Sync.lock sched worker pile;
               outstanding := !outstanding - 1;
               if

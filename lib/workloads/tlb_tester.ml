@@ -50,7 +50,10 @@ let run ?(pages = 1) ?(warmup = warmup_time) ?grace (machine : Machine.t)
            ~access:Addr.Write_access
        with
       | Ok () -> ()
-      | Error _ -> failwith "tester: cannot touch counter pages");
+      | Error _ ->
+          let c = Sim.Sched.current_cpu self in
+          Driver.fault ~workload:"tester" ~what:"cannot touch counter pages"
+            ~cpu:(Sim.Cpu.id c) ~now:(Sim.Cpu.now c) ());
       let started = Sim.Sync.create_mutex "tester-started" in
       let started_cv = Sim.Sync.create_condvar "tester-started-cv" in
       let running = ref 0 in
@@ -102,7 +105,10 @@ let run ?(pages = 1) ?(warmup = warmup_time) ?grace (machine : Machine.t)
                         (* unrecoverable write fault: the thread dies *)
                         dead.(i) <- true
                     | Error Task.Err_no_entry ->
-                        failwith "tester: counter page vanished"
+                        let c = Sim.Sched.current_cpu child in
+                        Driver.fault ~workload:"tester"
+                          ~what:"counter page vanished" ~cpu:(Sim.Cpu.id c)
+                          ~now:(Sim.Cpu.now c) ()
                 in
                 spin false))
       in
@@ -124,7 +130,10 @@ let run ?(pages = 1) ?(warmup = warmup_time) ?grace (machine : Machine.t)
             (page_va + (i * Addr.word_size))
         with
         | Ok v -> v
-        | Error _ -> failwith "tester: cannot read counters"
+        | Error _ ->
+            let c = Sim.Sched.current_cpu self in
+            Driver.fault ~workload:"tester" ~what:"cannot read counters"
+              ~cpu:(Sim.Cpu.id c) ~now:(Sim.Cpu.now c) ()
       in
       let saved = Array.init children read_counter in
       (* Give stale entries time to do damage, then halt any survivors
@@ -161,7 +170,7 @@ let run ?(pages = 1) ?(warmup = warmup_time) ?grace (machine : Machine.t)
       ignore (Array.for_all (fun d -> d) dead));
   match !outcome with
   | Some r -> r
-  | None -> failwith "Tlb_tester: no outcome recorded"
+  | None -> Driver.fault ~workload:"tester" ~what:"no outcome recorded" ()
 
 (* Fresh machine per run, as the experiments require. *)
 let run_fresh ?(params = Sim.Params.default) ?(pages = 1) ?warmup ?grace
