@@ -79,6 +79,13 @@ let print_batch ~jobs ~scale ~emit_json =
   else print_string (Experiments.Batching.render b);
   if not (Experiments.Batching.batching_helps b) then exit 1
 
+let print_elide ~jobs ~scale ~emit_json =
+  let e = Experiments.Elision.run ~jobs ~scale () in
+  if emit_json then
+    print_string (Instrument.Json.to_string (Experiments.Elision.to_json e))
+  else print_string (Experiments.Elision.render e);
+  if not (Experiments.Elision.elision_helps e) then exit 1
+
 let run_tester ~children ~policy =
   let params =
     match policy with
@@ -372,6 +379,23 @@ let batch_cmd =
       const (fun jobs scale emit_json -> print_batch ~jobs ~scale ~emit_json)
       $ jobs_arg $ scale_arg $ json_arg)
 
+let elide_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the ablation counters as a JSON metrics report.")
+  in
+  cmd "elide"
+    "Run the flush-elision ablation: generation-tagged elision x lazy \
+     evaluation x gather batching over the mmap-churn server and \
+     Parthenon, oracle attached (exits 1 unless elision halves churn \
+     consistency rounds in every combination, leaves Parthenon untouched, \
+     and every cell is green)"
+    Term.(
+      const (fun jobs scale emit_json -> print_elide ~jobs ~scale ~emit_json)
+      $ jobs_arg $ scale_arg $ json_arg)
+
 let tester_cmd =
   cmd "tester" "Run the section 5.1 consistency tester once"
     Term.(
@@ -501,8 +525,8 @@ let check_cmd =
       & info [ "mutant" ]
           ~doc:
             "Seed a protocol bug: none|skip-barrier|\
-             skip-responder-invalidate.  The mutants must produce \
-             counterexamples; the healthy protocol must not.")
+             skip-responder-invalidate|skip-generation-bump.  The mutants \
+             must produce counterexamples; the healthy protocol must not.")
   in
   let scenario_arg =
     Arg.(
@@ -510,7 +534,7 @@ let check_cmd =
       & info [ "scenario" ]
           ~doc:
             "Run one scenario instead of the whole matrix: \
-             plain|pair|lazy|batch|escalate|cluster.")
+             plain|pair|lazy|batch|elide|escalate|cluster.")
   in
   let json_arg =
     Arg.(
@@ -583,6 +607,7 @@ let () =
         ablations_cmd;
         faults_cmd;
         batch_cmd;
+        elide_cmd;
         tester_cmd;
         trace_cmd;
         profile_cmd;

@@ -324,6 +324,74 @@ let batch_body machine self =
   Sim.Sched.join sched self child;
   match !fail with Some (k, d) -> raise (Prop (k, d)) | None -> ()
 
+(* Generation-tagged flush elision (docs/ELISION.md): unmapping a page
+   another CPU is actively writing must take the elision path — no
+   shootdown, just a generation bump — and the bump alone must make the
+   responder's warm TLB entry unusable before the unmap returns.  Any
+   write that lands after [deallocate] has returned went through a
+   stale entry the bump was required to kill (this is what catches the
+   skip-generation-bump mutant).  Reusing the same virtual page
+   afterwards must be fully consistent under the new generation. *)
+let elide_body machine self =
+  let vms = machine.Machine.vms and sched = machine.Machine.sched in
+  let ctx = machine.Machine.ctx in
+  let task, vpn = setup_task machine self ~pages:1 in
+  let va = Addr.addr_of_vpn vpn in
+  let stop = ref false in
+  let dead = ref false in
+  let gate = make_gate () in
+  let fail = ref None in
+  let child =
+    Task.spawn_thread vms task ~bound:1 ~name:"mc-elide" (fun th ->
+        let mine = ref 0 in
+        let announced = ref false in
+        let alive = ref true in
+        while !alive && not !stop do
+          Sim.Cpu.step (Sim.Sched.current_cpu th) 2.0;
+          if not !stop then
+            match Task.write_word vms th task.Task.map va (!mine + 1) with
+            | Ok () ->
+                if !dead then begin
+                  alive := false;
+                  fail :=
+                    Some
+                      ( "stale-write",
+                        "responder wrote the page after its elided \
+                         deallocation completed" )
+                end
+                else begin
+                  incr mine;
+                  if not !announced then begin
+                    announced := true;
+                    gate_up sched th gate
+                  end
+                end
+            | Error _ -> alive := false
+        done)
+  in
+  gate_wait sched self gate 1;
+  Sim.Sched.sleep sched self 30.0;
+  arm machine;
+  Vm_map.deallocate vms self task.Task.map ~lo:vpn ~hi:(vpn + 1);
+  dead := true;
+  (* Let the responder attempt at least one post-unmap write: healthy
+     runs reject it at the TLB (generation mismatch) and the child exits
+     on the fault; under skip-generation-bump it succeeds. *)
+  Sim.Sched.sleep sched self 20.0;
+  stop := true;
+  Sim.Sched.join sched self child;
+  (match !fail with Some (k, d) -> raise (Prop (k, d)) | None -> ());
+  if ctx.Pmap.elision_rounds_elided < 1 then
+    prop "property" "unmapping a hammered page never took the elision path";
+  let v2 = Vm_map.allocate vms self task.Task.map ~pages:1 ~at:vpn () in
+  (match
+     Task.touch_range vms self task.Task.map ~lo_vpn:v2 ~pages:1
+       ~access:Addr.Write_access
+   with
+  | Ok () -> ()
+  | Error _ -> prop "property" "cannot touch the reused page");
+  protect_and_check machine self ~task ~vpn:v2 ~pages:1
+
 (* Watchdog escalation: a total IPI blackout means no responder ever
    hears about the shootdown; the initiator's watchdog must retry, give
    up, and destroy the abandoned responders' stale entries itself before
@@ -373,6 +441,15 @@ let all =
       sc_params =
         (fun ~cpus -> { (quiet ~cpus) with P.batch_shootdowns = true });
       sc_body = batch_body;
+    };
+    {
+      sc_key = "elide";
+      sc_label = "generation-bump elision, then reuse";
+      sc_pages = 1;
+      sc_cpus = (fun n -> max 2 n);
+      sc_params =
+        (fun ~cpus -> { (quiet ~cpus) with P.elide_reuse_flushes = true });
+      sc_body = elide_body;
     };
     {
       sc_key = "escalate";
@@ -455,15 +532,16 @@ let fingerprint (machine : Machine.t) =
       List.iter
         (fun (e : Hw.Tlb.entry) ->
           Buffer.add_string b
-            (Printf.sprintf "%d.%d.%d.%d%b%b;" e.Hw.Tlb.space e.Hw.Tlb.vpn
-               e.Hw.Tlb.pfn (prot_code e.Hw.Tlb.prot) e.Hw.Tlb.ref_bit
-               e.Hw.Tlb.mod_bit))
+            (Printf.sprintf "%d.%d.%d.%d.%d%b%b;" e.Hw.Tlb.space e.Hw.Tlb.vpn
+               e.Hw.Tlb.pfn (prot_code e.Hw.Tlb.prot) e.Hw.Tlb.gen
+               e.Hw.Tlb.ref_bit e.Hw.Tlb.mod_bit))
         (Hw.Tlb.entries (Hw.Mmu.tlb mmu)))
     machine.Machine.mmus;
   Buffer.add_string b
-    (Printf.sprintf "#%d.%d.%d.%d.%d" ctx.Pmap.shootdowns_initiated
+    (Printf.sprintf "#%d.%d.%d.%d.%d.%d" ctx.Pmap.shootdowns_initiated
        ctx.Pmap.shootdowns_skipped_lazy ctx.Pmap.watchdog_retries
-       ctx.Pmap.watchdog_escalations ctx.Pmap.watchdog_recoveries);
+       ctx.Pmap.watchdog_escalations ctx.Pmap.watchdog_recoveries
+       ctx.Pmap.elision_rounds_elided);
   Digest.string (Buffer.contents b)
 
 (* --- mutants ------------------------------------------------------------ *)
@@ -472,15 +550,18 @@ let mutant_name = function
   | Pmap.No_mutant -> "none"
   | Pmap.Skip_barrier -> "skip-barrier"
   | Pmap.Skip_responder_invalidate -> "skip-responder-invalidate"
+  | Pmap.Skip_generation_bump -> "skip-generation-bump"
 
 let mutant_of_string = function
   | "none" -> Ok Pmap.No_mutant
   | "skip-barrier" -> Ok Pmap.Skip_barrier
   | "skip-responder-invalidate" -> Ok Pmap.Skip_responder_invalidate
+  | "skip-generation-bump" -> Ok Pmap.Skip_generation_bump
   | other ->
       Error
         (Printf.sprintf
-           "unknown mutant %S (none|skip-barrier|skip-responder-invalidate)"
+           "unknown mutant %S \
+            (none|skip-barrier|skip-responder-invalidate|skip-generation-bump)"
            other)
 
 (* --- one schedule ------------------------------------------------------- *)

@@ -46,6 +46,7 @@ type t = {
   mutable entries_checked : int;
   mutable cpus_skipped : int; (* covered by a pending/draining action *)
   mutable batch_entries_skipped : int; (* covered by an open gather batch *)
+  mutable gen_entries_skipped : int; (* generation-stale, dead on lookup *)
   mutable violation_count : int;
   mutable violations : violation list; (* newest first, capped *)
 }
@@ -92,6 +93,15 @@ let check t ~reason =
                reached. *)
             if Pmap.batch_covers ctx ~space:e.Tlb.space ~vpn:e.Tlb.vpn then
               t.batch_entries_skipped <- t.batch_entries_skipped + 1
+            else if
+              (* A generation-stale entry is logically invalidated
+                 (docs/ELISION.md): the MMU rejects and evicts it at its
+                 next lookup before granting any access or writing any
+                 ref/mod bit back, so whatever it caches can never be
+                 exercised. *)
+              e.Tlb.gen
+              <> Tlb.generation (Mmu.tlb mmu) ~space:e.Tlb.space
+            then t.gen_entries_skipped <- t.gen_entries_skipped + 1
             else
             match pmap_for ctx ~cpu_id:id ~space:e.Tlb.space with
             | None -> ()
@@ -133,6 +143,7 @@ let attach ?(max_kept = 32) ctx =
       entries_checked = 0;
       cpus_skipped = 0;
       batch_entries_skipped = 0;
+      gen_entries_skipped = 0;
       violation_count = 0;
       violations = [];
     }
@@ -146,6 +157,7 @@ let checks t = t.checks
 let entries_checked t = t.entries_checked
 let cpus_skipped t = t.cpus_skipped
 let batch_entries_skipped t = t.batch_entries_skipped
+let gen_entries_skipped t = t.gen_entries_skipped
 let violation_count t = t.violation_count
 let violations t = List.rev t.violations
 

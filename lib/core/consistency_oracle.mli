@@ -49,6 +49,11 @@ val batch_entries_skipped : t -> int
     the PTE already changed but the batched invalidation has not flushed
     yet. *)
 
+val gen_entries_skipped : t -> int
+(** TLB entries excused because their generation stamp lags their space's
+    current generation (docs/ELISION.md): the MMU rejects and evicts such
+    an entry at its next lookup, so it can never be exercised. *)
+
 val violation_count : t -> int
 
 val violations : t -> violation list

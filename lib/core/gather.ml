@@ -33,6 +33,11 @@ type t = {
   mutable ranges : (Addr.vpn * Addr.vpn) list;
       (* pending invalidations: coalesced, sorted, disjoint *)
   mutable ops : int; (* operations queued since the last flush *)
+  mutable pure_unmap : bool;
+      (* every pending range came from an unmap — the batch-level
+         flush-elision condition (docs/ELISION.md): a rights-reducing
+         protect must run a real round, a batch of removals may retire
+         by generation bump *)
   mutable deferred : (unit -> unit) list; (* newest first *)
   mutable finished : bool;
 }
@@ -59,7 +64,16 @@ let start ctx (pmap : Pmap.t) =
   let reg = { Pmap.b_space = pmap.Pmap.space_id; b_ranges = [] } in
   ctx.Pmap.open_batches <- reg :: ctx.Pmap.open_batches;
   ctx.Pmap.batches_opened <- ctx.Pmap.batches_opened + 1;
-  { ctx; pmap; reg; ranges = []; ops = 0; deferred = []; finished = false }
+  {
+    ctx;
+    pmap;
+    reg;
+    ranges = [];
+    ops = 0;
+    pure_unmap = true;
+    deferred = [];
+    finished = false;
+  }
 
 let note_pending g ~lo ~hi =
   g.ranges <- insert_range g.ranges ~lo ~hi;
@@ -117,7 +131,10 @@ let protect g (cpu : Sim.Cpu.t) ~lo ~hi ~prot =
         incr touched);
     Pmap_ops.charge_pages ctx cpu !touched;
     let inconsistent = may && !reduces in
-    if inconsistent then note_pending g ~lo ~hi;
+    if inconsistent then begin
+      note_pending g ~lo ~hi;
+      g.pure_unmap <- false
+    end;
     Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
     account_op g ~may_be_inconsistent:inconsistent
   end
@@ -142,7 +159,8 @@ let flush g (cpu : Sim.Cpu.t) =
       ctx.Pmap.batch_flushes_elided <- ctx.Pmap.batch_flushes_elided + 1
   | ranges ->
       ctx.Pmap.batch_flushes <- ctx.Pmap.batch_flushes + 1;
-      Shootdown.with_update_ranges ctx cpu g.pmap ~ranges
+      Shootdown.with_update_ranges ctx cpu g.pmap ~elide_reuse:g.pure_unmap
+        ~ranges
         ~may_be_inconsistent:(fun () -> true)
         ~update:(fun () ->
           (* The barrier has been reached: every responder acknowledged
@@ -152,6 +170,7 @@ let flush g (cpu : Sim.Cpu.t) =
           g.reg.Pmap.b_ranges <- [];
           g.ranges <- []));
   g.ops <- 0;
+  g.pure_unmap <- true;
   let thunks = List.rev g.deferred in
   g.deferred <- [];
   List.iter (fun f -> f ()) thunks;

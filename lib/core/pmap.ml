@@ -22,6 +22,10 @@ type t = {
   is_kernel : bool;
   mutable op_count : int;
   mutable destroyed : bool;
+  mutable generation : int;
+      (* current TLB-entry generation of this space (docs/ELISION.md):
+         bumped instead of running a shootdown round when an unmap's
+         stale entries can be left to die on the tag check *)
 }
 
 (* An in-flight gather batch (mmu_gather-style, see Gather): page-table
@@ -45,6 +49,8 @@ type mutant =
   | No_mutant
   | Skip_barrier (* initiator omits the phase-2 acknowledgement wait *)
   | Skip_responder_invalidate (* responder drains without invalidating *)
+  | Skip_generation_bump (* elided unmap skips the round AND the bump,
+                            leaving remote stale entries fully live *)
 
 type ctx = {
   params : Sim.Params.t;
@@ -102,6 +108,10 @@ type ctx = {
   mutable batch_pages : int; (* pages those operations deferred *)
   mutable batch_flushes : int; (* flushes that ran a consistency round *)
   mutable batch_flushes_elided : int; (* flushes with nothing pending *)
+  (* --- generation-tag elision statistics (docs/ELISION.md) --- *)
+  mutable elision_rounds_elided : int; (* shootdown rounds replaced by a bump *)
+  mutable elision_gen_bumps : int; (* generation bumps published *)
+  mutable elision_wrap_flushes : int; (* wraparounds repaired by a real flush *)
 }
 
 let ncpus ctx = Array.length ctx.cpus
@@ -119,6 +129,7 @@ let make_pmap ~ncpus ~space_id ~name ~is_kernel =
     is_kernel;
     op_count = 0;
     destroyed = false;
+    generation = 0;
   }
 
 let create_ctx ~eng ~bus ~cpus ~mmus ~mem ~params ~xpr =
@@ -164,6 +175,9 @@ let create_ctx ~eng ~bus ~cpus ~mmus ~mem ~params ~xpr =
       batch_pages = 0;
       batch_flushes = 0;
       batch_flushes_elided = 0;
+      elision_rounds_elided = 0;
+      elision_gen_bumps = 0;
+      elision_wrap_flushes = 0;
     }
   in
   (* Wire the kernel space into every MMU. *)

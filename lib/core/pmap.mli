@@ -16,6 +16,9 @@ type t = {
   is_kernel : bool;
   mutable op_count : int;
   mutable destroyed : bool;
+  mutable generation : int;
+      (** current TLB-entry generation of this space (docs/ELISION.md);
+          bumped in place of a shootdown round by flush elision *)
 }
 
 type batch = {
@@ -39,6 +42,9 @@ type mutant =
   | Skip_barrier  (** initiator omits the phase-2 acknowledgement wait *)
   | Skip_responder_invalidate
       (** responder drains its queue without touching its TLB *)
+  | Skip_generation_bump
+      (** an elided unmap skips the shootdown round {e and} the
+          generation bump, leaving remote stale entries fully live *)
 
 type ctx = {
   params : Sim.Params.t;
@@ -96,6 +102,12 @@ type ctx = {
   mutable batch_flushes : int;  (** flushes that ran a consistency round *)
   mutable batch_flushes_elided : int;
       (** batch flushes with nothing pending (no round, no cost) *)
+  mutable elision_rounds_elided : int;
+      (** shootdown rounds replaced by a generation bump
+          (docs/ELISION.md) *)
+  mutable elision_gen_bumps : int;  (** generation bumps published *)
+  mutable elision_wrap_flushes : int;
+      (** generation wraparounds repaired by a real space flush *)
 }
 
 val ncpus : ctx -> int

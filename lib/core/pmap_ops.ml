@@ -69,10 +69,13 @@ let enter ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~vpn ~pfn ~prot ~wired =
       Sim.Cpu.raw_delay cpu ctx.Pmap.params.tlb_entry_invalidate_cost;
       charge_pages ctx cpu 1)
 
-(* Remove all mappings in [lo, hi). *)
+(* Remove all mappings in [lo, hi).  A pure removal is the flush-elision
+   candidate (docs/ELISION.md): the consistency round exists only to kill
+   cached translations of pages that are going away, which a generation
+   bump retires just as well. *)
 let remove ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~lo ~hi =
   pmap.Pmap.op_count <- pmap.Pmap.op_count + 1;
-  Shootdown.with_update ctx cpu pmap ~lo ~hi
+  Shootdown.with_update ctx cpu pmap ~elide_reuse:true ~lo ~hi
     ~may_be_inconsistent:(fun () -> range_may_be_mapped ctx cpu pmap ~lo ~hi)
     ~update:(fun () ->
       let cleared = ref 0 in

@@ -567,6 +567,49 @@ let force_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges
     targets
 
 (* ------------------------------------------------------------------ *)
+(* Generation-tagged flush elision (docs/ELISION.md).
+
+   When an unmap would have to run a shootdown round only because remote
+   TLBs might cache the dying range, the initiator can instead bump the
+   space's generation counter and publish it to every TLB: entries
+   stamped with an older generation are rejected (and evicted) at their
+   next lookup, before any access is granted or any ref/mod bit written
+   back — so the tag mismatch is as good as an invalidate.  The round,
+   its IPIs and the ack barrier all disappear; the price is one coherent
+   version-word store and later reload misses on pages that were going
+   away anyway.
+
+   The counter must never wrap onto a stamp that is still resident: at
+   [gen_limit] the space is flushed for real everywhere and the counter
+   restarts (a 2^30 budget makes this a never-in-practice repair). *)
+
+let gen_limit = 1 lsl 30
+
+let elide_round ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) =
+  let params = ctx.Pmap.params in
+  ctx.Pmap.elision_rounds_elided <- ctx.Pmap.elision_rounds_elided + 1;
+  (* The seeded mutant skips the bump but still skips the round: remote
+     stale entries stay fully live, which the model checker must catch. *)
+  if ctx.Pmap.mutant <> Pmap.Skip_generation_bump then begin
+    if pmap.Pmap.generation + 1 >= gen_limit then begin
+      ctx.Pmap.elision_wrap_flushes <- ctx.Pmap.elision_wrap_flushes + 1;
+      Array.iter
+        (fun mmu -> Tlb.flush_space (Mmu.tlb mmu) ~space:pmap.Pmap.space_id)
+        ctx.Pmap.mmus;
+      pmap.Pmap.generation <- 1
+    end
+    else pmap.Pmap.generation <- pmap.Pmap.generation + 1;
+    ctx.Pmap.elision_gen_bumps <- ctx.Pmap.elision_gen_bumps + 1;
+    Array.iter
+      (fun mmu ->
+        Tlb.set_generation (Mmu.tlb mmu) ~space:pmap.Pmap.space_id
+          ~gen:pmap.Pmap.generation)
+      ctx.Pmap.mmus;
+    Sim.Cpu.raw_delay cpu params.gen_bump_cost;
+    Sim.Bus.access ctx.Pmap.bus ~who:(Sim.Cpu.id cpu) ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* The initiator entry point used by every pmap operation.
 
    [may_be_inconsistent] decides — under the pmap lock — whether the update
@@ -577,9 +620,14 @@ let force_remote_invalidate ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges
    the listed ranges are retired in one protocol round.  [with_update] is
    the historical single-range form every unbatched pmap operation uses;
    it delegates with a singleton list, which executes the exact same
-   sequence of costs, bus accesses and trace events as it always did. *)
-let with_update_ranges ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges
-    ~may_be_inconsistent ~update =
+   sequence of costs, bus accesses and trace events as it always did.
+
+   [elide_reuse] marks call sites whose update only *removes* mappings
+   (unmap / unmap-heavy batch): for those — and only with
+   [Params.elide_reuse_flushes] on, for a user pmap with remote users —
+   the round is elided via [elide_round] above. *)
+let with_update_ranges ?(elide_reuse = false) ctx (cpu : Sim.Cpu.t)
+    (pmap : Pmap.t) ~ranges ~may_be_inconsistent ~update =
   let params = ctx.Pmap.params in
   let me = Sim.Cpu.id cpu in
   (* Completion hook for the consistency oracle (cost-free when absent).
@@ -645,14 +693,28 @@ let with_update_ranges ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges
       let started = Sim.Cpu.now cpu in
       Sim.Cpu.raw_delay cpu params.shoot_entry_cost;
       let inconsistent = may_be_inconsistent () in
+      (* Elide the round when the caller vouches the update only removes
+         mappings: a generation bump retires remote staleness without
+         IPIs.  The kernel pmap is excluded (its generation never moves:
+         bumping it would logically flush every CPU's kernel working
+         set), and without remote users the plain path is already
+         IPI-free and cheaper. *)
+      let elide =
+        elide_reuse
+        && params.elide_reuse_flushes
+        && (not pmap.Pmap.is_kernel)
+        && inconsistent
+        && Pmap.other_users ctx pmap ~me
+      in
       let abandoned =
-        if inconsistent then begin
+        if inconsistent && not elide then begin
           ctx.Pmap.shoot_phase.(me) <- "shooting:" ^ pmap.Pmap.pname;
           shoot ctx cpu pmap ~ranges ~pages:(range_pages ranges) ~started
         end
         else begin
-          ctx.Pmap.shootdowns_skipped_lazy <-
-            ctx.Pmap.shootdowns_skipped_lazy + 1;
+          if not inconsistent then
+            ctx.Pmap.shootdowns_skipped_lazy <-
+              ctx.Pmap.shootdowns_skipped_lazy + 1;
           []
         end
       in
@@ -663,6 +725,16 @@ let with_update_ranges ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges
       if inconsistent then
         Sim.Cpu.prof_observe cpu ~name:"shoot/update_us"
           (Sim.Cpu.now cpu -. update_started);
+      (* An elided round publishes its generation bump after the PTEs are
+         gone (mirroring Hw_remote's update-then-invalidate order): a
+         hardware reload racing the update reads the already-cleared PTE
+         and caches nothing, so no entry under the *new* generation can
+         resurrect the dead mapping.  Still under the pmap lock, which
+         serializes concurrent bumps of the same space. *)
+      if elide then begin
+        ctx.Pmap.shoot_phase.(me) <- "gen-bump:" ^ pmap.Pmap.pname;
+        elide_round ctx cpu pmap
+      end;
       (* Recovery: responders the watchdog abandoned never acknowledged,
          so their TLBs may still hold the old mapping — destroy it
          directly while the pmap lock still serializes against reloads
@@ -672,14 +744,15 @@ let with_update_ranges ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges
         force_remote_invalidate ctx cpu pmap ~ranges abandoned
       end;
       Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
-      if inconsistent then
+      if inconsistent && not elide then
         Shoot_trace.record ctx ~code:Shoot_trace.c_update_done ~cpu:me ();
       ctx.Pmap.shoot_phase.(me) <- "done";
       ctx.Pmap.active.(me) <- was_active;
       Sim.Cpu.restore_ipl cpu s;
       check_oracle "shootdown-complete"
 
-let with_update ctx cpu pmap ~lo ~hi ~may_be_inconsistent ~update =
-  with_update_ranges ctx cpu pmap
+let with_update ?(elide_reuse = false) ctx cpu pmap ~lo ~hi
+    ~may_be_inconsistent ~update =
+  with_update_ranges ~elide_reuse ctx cpu pmap
     ~ranges:[ (lo, hi) ]
     ~may_be_inconsistent ~update

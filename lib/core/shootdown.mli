@@ -12,6 +12,7 @@
       TLB entries or flushing) and rejoin the active set. *)
 
 val with_update :
+  ?elide_reuse:bool ->
   Pmap.ctx ->
   Sim.Cpu.t ->
   Pmap.t ->
@@ -23,9 +24,16 @@ val with_update :
 (** Wrap a pmap modification of pages [lo, hi) in the consistency protocol
     selected by [Params.consistency].  [may_be_inconsistent] is evaluated
     under the pmap lock and embodies the lazy-evaluation check; [update]
-    performs the page-table change (phase 3). *)
+    performs the page-table change (phase 3).
+
+    [elide_reuse] (default false) marks call sites whose update only
+    removes mappings: with [Params.elide_reuse_flushes] on, a user-pmap
+    round with remote users is then elided by bumping the space's TLB
+    generation instead — stale entries die on the tag check at their next
+    lookup (docs/ELISION.md). *)
 
 val with_update_ranges :
+  ?elide_reuse:bool ->
   Pmap.ctx ->
   Sim.Cpu.t ->
   Pmap.t ->
@@ -39,6 +47,10 @@ val with_update_ranges :
     made on the total page count, and a large batch naturally overflows
     the fixed-size action queues into the responders' flush-everything
     path.  A singleton list is exactly {!with_update}. *)
+
+val gen_limit : int
+(** Generation-counter wrap budget: at this value the elision path runs a
+    real space flush on every TLB and restarts the counter from 1. *)
 
 val responder : Pmap.ctx -> Sim.Cpu.t -> unit
 (** The shootdown interrupt service routine (phases 2 and 4).  Installed

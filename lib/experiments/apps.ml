@@ -24,6 +24,14 @@ let scaled_parthenon scale =
     max_items = max 30 (c.Workloads.Parthenon.max_items * scale / 100);
   }
 
+let scaled_churn scale =
+  let c = Workloads.Mmap_churn.default_config in
+  {
+    c with
+    Workloads.Mmap_churn.requests =
+      max 5 (c.Workloads.Mmap_churn.requests * scale / 100);
+  }
+
 let scaled_agora scale =
   let c = Workloads.Agora.default_config in
   { c with Workloads.Agora.runs = max 1 (c.Workloads.Agora.runs * scale / 100) }

@@ -1,0 +1,227 @@
+(* Elision ablation: a Table-1-style sweep of generation-tagged flush
+   elision (docs/ELISION.md).
+
+   The mmap-churn server and Parthenon are each run through the 2x2 of
+   lazy evaluation x gather batching, with elision off and on in every
+   cell, on fresh machines with the TLB-consistency oracle attached.
+   The claims the sweep makes measurable: on churny map/unmap traffic
+   elision collapses the consistency rounds (>= 50 % at identical
+   offered load) in every lazy/batching combination; on Parthenon under
+   the production configuration (lazy evaluation on) it is a pure
+   negative control, changing nothing — the only rounds elision could
+   touch are the startup unmaps of never-referenced pages, and lazy
+   evaluation already skips those outright (Table 1), so nothing is
+   left to elide; and every cell stays oracle-green.  With elision off
+   the machine is byte-for-byte the historical one (the CI smoke gate
+   separately diffs that against the frozen baseline). *)
+
+module Metrics = Instrument.Metrics
+module Tablefmt = Instrument.Tablefmt
+module P = Sim.Params
+
+type app = Churn | Parthenon
+
+let app_key = function Churn -> "churn" | Parthenon -> "parthenon"
+
+type variant = { app : app; lazy_on : bool; batched : bool; elide : bool }
+
+(* Fixed sweep order; [key] feeds JSON metric names ([a-z0-9-/] only). *)
+let variants =
+  List.concat_map
+    (fun app ->
+      List.concat_map
+        (fun lazy_on ->
+          List.concat_map
+            (fun batched ->
+              List.map
+                (fun elide -> { app; lazy_on; batched; elide })
+                [ false; true ])
+            [ false; true ])
+        [ false; true ])
+    [ Churn; Parthenon ]
+
+let variant_key v =
+  Printf.sprintf "%s/lazy-%s/batch-%s/elide-%s" (app_key v.app)
+    (if v.lazy_on then "on" else "off")
+    (if v.batched then "on" else "off")
+    (if v.elide then "on" else "off")
+
+type cell = {
+  rounds : int; (* consistency rounds actually initiated *)
+  ipis : int;
+  skipped_lazy : int;
+  rounds_elided : int; (* rounds replaced by a generation bump *)
+  gen_bumps : int;
+  gen_stale_drops : int; (* stale entries evicted at lookup *)
+  runtime_us : float;
+  oracle_green : bool;
+  oracle_gen_skips : int; (* entries excused as generation-stale *)
+}
+
+let run_cell ~scale ~params v =
+  let params =
+    {
+      params with
+      P.lazy_check = v.lazy_on;
+      batch_shootdowns = v.batched;
+      elide_reuse_flushes = v.elide;
+    }
+  in
+  let oracle = ref None in
+  let attach (m : Vm.Machine.t) =
+    oracle := Some (Core.Consistency_oracle.attach m.Vm.Machine.ctx)
+  in
+  let r =
+    match v.app with
+    | Churn ->
+        Workloads.Mmap_churn.run ~params ~attach ~cfg:(Apps.scaled_churn scale)
+          ()
+    | Parthenon ->
+        Workloads.Parthenon.run ~params ~attach
+          ~cfg:(Apps.scaled_parthenon scale) ()
+  in
+  let green, gen_skips =
+    match !oracle with
+    | Some o ->
+        ( Core.Consistency_oracle.consistent o,
+          Core.Consistency_oracle.gen_entries_skipped o )
+    | None -> (false, 0)
+  in
+  {
+    rounds = r.Workloads.Driver.shootdowns_initiated;
+    ipis = r.Workloads.Driver.ipis_sent;
+    skipped_lazy = r.Workloads.Driver.skipped_lazy;
+    rounds_elided = r.Workloads.Driver.rounds_elided;
+    gen_bumps = r.Workloads.Driver.gen_bumps;
+    gen_stale_drops = r.Workloads.Driver.gen_stale_drops;
+    runtime_us = r.Workloads.Driver.runtime;
+    oracle_green = green;
+    oracle_gen_skips = gen_skips;
+  }
+
+type t = { rows : (variant * cell) list; scale : int }
+
+(* Every cell boots a fresh machine from [params] alone, so the sixteen
+   runs fan out through the domain pool (docs/PARALLELISM.md). *)
+let run ?(jobs = 1) ?(scale = 100) ?(params = Sim.Params.production) () =
+  let cells =
+    Sim.Domain_pool.map_trials ~jobs (run_cell ~scale ~params) variants
+  in
+  { rows = List.combine variants cells; scale }
+
+let cell t ~app ~lazy_on ~batched ~elide =
+  List.assoc { app; lazy_on; batched; elide } t.rows
+
+let round_reduction ~off ~on_ =
+  if off.rounds <= 0 then 0.0
+  else 100.0 *. (1.0 -. (float_of_int on_.rounds /. float_of_int off.rounds))
+
+let all_green t = List.for_all (fun (_, c) -> c.oracle_green) t.rows
+
+(* The acceptance claim (exit-1 gated by `tlbshoot elide`):
+
+   - every cell oracle-green;
+   - churn: elision halves the consistency rounds (>= 50 % reduction) in
+     all four lazy x batching combinations, and actually elided rounds;
+   - Parthenon under lazy evaluation (the production configuration): a
+     negative control — its only unmaps of in-use pages happen at task
+     teardown after every worker has joined, and its startup unmaps of
+     never-referenced pages are already skipped by the lazy check, so
+     the run must be untouched: identical round and IPI counts, zero
+     elisions.  (With lazy evaluation off those startup rounds come
+     back, and elision quite correctly elides them — so the lazy-off
+     Parthenon cells are only required to stay green.) *)
+let elision_helps t =
+  all_green t
+  && List.for_all
+       (fun (lazy_on, batched) ->
+         let off = cell t ~app:Churn ~lazy_on ~batched ~elide:false in
+         let on_ = cell t ~app:Churn ~lazy_on ~batched ~elide:true in
+         on_.rounds_elided > 0 && 2 * on_.rounds <= off.rounds)
+       [ (false, false); (false, true); (true, false); (true, true) ]
+  && List.for_all
+       (fun batched ->
+         let off = cell t ~app:Parthenon ~lazy_on:true ~batched ~elide:false in
+         let on_ = cell t ~app:Parthenon ~lazy_on:true ~batched ~elide:true in
+         on_.rounds = off.rounds && on_.ipis = off.ipis
+         && on_.rounds_elided = 0)
+       [ false; true ]
+
+let render t =
+  let table =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "Elision ablation: generation tags x lazy evaluation x batching \
+            (scale %d%%)"
+           t.scale)
+      ~headers:
+        [
+          "workload";
+          "lazy";
+          "batch";
+          "elide";
+          "rounds";
+          "IPIs";
+          "elided";
+          "bumps";
+          "stale drops";
+          "runtime";
+          "oracle";
+        ]
+  in
+  List.iter
+    (fun (v, c) ->
+      Tablefmt.add_row table
+        [
+          app_key v.app;
+          (if v.lazy_on then "yes" else "no");
+          (if v.batched then "yes" else "no");
+          (if v.elide then "yes" else "no");
+          string_of_int c.rounds;
+          string_of_int c.ipis;
+          string_of_int c.rounds_elided;
+          string_of_int c.gen_bumps;
+          string_of_int c.gen_stale_drops;
+          Tablefmt.us c.runtime_us;
+          (if c.oracle_green then "green" else "RED");
+        ])
+    t.rows;
+  let reduction app lazy_on batched =
+    round_reduction
+      ~off:(cell t ~app ~lazy_on ~batched ~elide:false)
+      ~on_:(cell t ~app ~lazy_on ~batched ~elide:true)
+  in
+  Tablefmt.render table
+  ^ Printf.sprintf
+      "\n\
+       elision cuts consistency rounds by %.0f%% (churn, plain) / %.0f%% \
+       (churn, lazy) / %.0f%% (churn, lazy+batch); Parthenon (negative \
+       control) %.0f%%\n"
+      (reduction Churn false false)
+      (reduction Churn true false)
+      (reduction Churn true true)
+      (reduction Parthenon true false)
+
+(* JSON export: its own registry — the bench smoke report's schema is
+   frozen, so elision counters must not leak into it. *)
+let to_metrics t =
+  let m = Metrics.create () in
+  List.iter
+    (fun (v, c) ->
+      let name s = Printf.sprintf "elision/%s/%s" (variant_key v) s in
+      let count s n = Metrics.inc ~by:n (Metrics.counter m (name s)) in
+      let gauge s g = Metrics.set (Metrics.gauge m (name s)) g in
+      count "rounds" c.rounds;
+      count "ipis_sent" c.ipis;
+      count "skipped_lazy" c.skipped_lazy;
+      count "rounds_elided" c.rounds_elided;
+      count "gen_bumps" c.gen_bumps;
+      count "gen_stale_drops" c.gen_stale_drops;
+      count "oracle_green" (if c.oracle_green then 1 else 0);
+      count "oracle_gen_skips" c.oracle_gen_skips;
+      gauge "runtime_us" c.runtime_us)
+    t.rows;
+  m
+
+let to_json t = Metrics.to_json (to_metrics t)

@@ -132,6 +132,7 @@ let rec translate t ~va ~access =
                 prot = pte.Page_table.prot;
                 ref_bit = false;
                 mod_bit = false;
+                gen = 0 (* re-stamped by [Tlb.insert] when tags are live *);
                 pte;
               }
             in

@@ -34,6 +34,7 @@ type entry = {
   prot : Addr.prot; (* the *cached* protection — may go stale *)
   mutable ref_bit : bool;
   mutable mod_bit : bool;
+  mutable gen : int; (* space generation at fill; stale if it lags *)
   pte : Page_table.pte; (* source PTE, target of ref/mod writeback *)
 }
 
@@ -51,11 +52,20 @@ type t = {
   fp_slots : int array; (* ... -> candidate slot, validated on hit *)
   mutable live : int; (* occupied slots, keeps [resident] O(1) *)
   mutable fifo_next : int;
+  (* Per-space generation counters (docs/ELISION.md).  A hit is valid
+     only if the entry's [gen] stamp matches the space's current
+     generation; bumping the generation is therefore a logical
+     whole-space flush with no scan and no IPIs.  [gen_active] stays
+     false until the first bump, so with elision off every lookup pays
+     exactly one predictable branch. *)
+  mutable space_gens : int array;
+  mutable gen_active : bool;
   (* statistics *)
   mutable hits : int;
   mutable misses : int;
   mutable flushes : int;
   mutable single_invalidates : int;
+  mutable gen_stale_drops : int;
 }
 
 let create ~size =
@@ -67,11 +77,27 @@ let create ~size =
     fp_slots = Array.make fp_size 0;
     live = 0;
     fifo_next = 0;
+    space_gens = [||];
+    gen_active = false;
     hits = 0;
     misses = 0;
     flushes = 0;
     single_invalidates = 0;
+    gen_stale_drops = 0;
   }
+
+let generation t ~space =
+  if space < Array.length t.space_gens then t.space_gens.(space) else 0
+
+let set_generation t ~space ~gen =
+  let n = Array.length t.space_gens in
+  if space >= n then begin
+    let grown = Array.make (max 16 (2 * (space + 1))) 0 in
+    Array.blit t.space_gens 0 grown 0 n;
+    t.space_gens <- grown
+  end;
+  t.space_gens.(space) <- gen;
+  if gen <> 0 then t.gen_active <- true
 
 (* A 32-bit address space with 4 KB pages means vpn < 2^20, so (space,
    vpn) packs losslessly into one immediate int — hashtable operations on
@@ -86,15 +112,30 @@ let clear_slot t i =
       t.slots.(i) <- None;
       t.live <- t.live - 1
 
+(* A generation-stale hit behaves exactly like a miss with an eager
+   invalidate: the slot is reclaimed so the dead translation cannot be
+   consulted again (and cannot write ref/mod bits back), and the caller
+   reloads from the page tables. *)
+let drop_stale t i =
+  clear_slot t i;
+  t.gen_stale_drops <- t.gen_stale_drops + 1;
+  t.misses <- t.misses + 1;
+  None
+
+let gen_current t e = (not t.gen_active) || e.gen = generation t ~space:e.space
+
 (* Authoritative lookup through the hash index; refreshes the
    direct-mapped cache line [h] for the packed key [k]. *)
 let lookup_slow t k h =
   match Hashtbl.find_opt t.index k with
-  | Some i ->
-      t.fp_keys.(h) <- k;
-      t.fp_slots.(h) <- i;
-      t.hits <- t.hits + 1;
-      t.slots.(i)
+  | Some i -> (
+      match t.slots.(i) with
+      | Some e when not (gen_current t e) -> drop_stale t i
+      | slot ->
+          t.fp_keys.(h) <- k;
+          t.fp_slots.(h) <- i;
+          t.hits <- t.hits + 1;
+          slot)
   | None ->
       t.misses <- t.misses + 1;
       None
@@ -107,15 +148,24 @@ let lookup t ~space ~vpn =
     match t.slots.(i) with
     | Some e when e.space = space && e.vpn = vpn ->
         (* Validated: [insert] keeps at most one slot per key, so this is
-           the current entry.  Return the stored option — no allocation. *)
-        t.hits <- t.hits + 1;
-        t.slots.(i)
+           the current entry.  Return the stored option — no allocation.
+           The generation stamp is re-validated here too: a generation
+           bump does not touch the direct-mapped cache, so a cached slot
+           must never be allowed to bypass the tag check. *)
+        if gen_current t e then begin
+          t.hits <- t.hits + 1;
+          t.slots.(i)
+        end
+        else drop_stale t i
     | Some _ | None -> lookup_slow t k h
   end
   else lookup_slow t k h
 
 (* FIFO replacement, as on simple hardware of the period. *)
 let insert t entry =
+  (* Stamp the fill with the space's current generation: an entry loaded
+     after a bump is valid, everything older is logically dead. *)
+  if t.gen_active then entry.gen <- generation t ~space:entry.space;
   let k = key ~space:entry.space ~vpn:entry.vpn in
   (* Replace an existing translation for the same page, if any. *)
   let slot =
@@ -187,3 +237,4 @@ let hits t = t.hits
 let misses t = t.misses
 let flushes t = t.flushes
 let single_invalidates t = t.single_invalidates
+let gen_stale_drops t = t.gen_stale_drops

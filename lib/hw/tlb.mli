@@ -15,6 +15,10 @@ type entry = {
   prot : Addr.prot; (** the {e cached} protection — may go stale *)
   mutable ref_bit : bool;
   mutable mod_bit : bool;
+  mutable gen : int;
+      (** the space's generation when the entry was filled; a lookup whose
+          stamp lags the current generation is dropped as if invalidated
+          (flush elision, docs/ELISION.md) *)
   pte : Page_table.pte; (** source PTE, target of ref/mod writeback *)
 }
 
@@ -41,9 +45,28 @@ val entries : t -> entry list
 val has_space : t -> space:int -> bool
 val resident : t -> int
 
+(** {2 Generation tags (flush elision)}
+
+    Each space has a generation counter, default 0.  [insert] stamps the
+    entry with the space's current generation and [lookup] treats a
+    stale stamp as a miss, evicting the slot — so bumping the generation
+    on every TLB is a logical whole-space flush that needs no IPIs and
+    no slot scan.  Both the hash-index path and the direct-mapped
+    fast-path cache re-validate the stamp on every hit. *)
+
+val generation : t -> space:int -> int
+(** Current generation of [space]; 0 until the first [set_generation]. *)
+
+val set_generation : t -> space:int -> gen:int -> unit
+(** Publish a new generation for [space].  Entries stamped with an older
+    generation are dead from the next lookup on. *)
+
 (** {2 Statistics} *)
 
 val hits : t -> int
 val misses : t -> int
 val flushes : t -> int
 val single_invalidates : t -> int
+
+val gen_stale_drops : t -> int
+(** Lookups that hit a generation-stale entry and evicted it. *)

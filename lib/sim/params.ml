@@ -129,6 +129,17 @@ type t = {
                               byte-identical to the baseline reports. *)
   batch_max_ops : int; (* auto-flush a gather after this many queued
                           operations (bounds quarantined memory) *)
+  elide_reuse_flushes : bool; (* generation-tagged flush elision: a user
+                                 unmap whose range may be cached remotely
+                                 bumps the space's generation instead of
+                                 running a shootdown round; stale entries
+                                 die on the tag check at next lookup
+                                 (docs/ELISION.md).  Off by default:
+                                 elision-off runs must stay byte-identical
+                                 to the baseline reports. *)
+  gen_bump_cost : float; (* publish one generation bump: a coherent
+                            version-word store plus bookkeeping, paid by
+                            the initiator in place of the whole round *)
   consistency : consistency_policy;
   (* --- fault injection / recovery -------------------------------------- *)
   faults : Fault.plan; (* deterministic adversity; Fault.none disables *)
@@ -194,6 +205,8 @@ let default =
     pmap_op_page_cost = 11.0;
     batch_shootdowns = false;
     batch_max_ops = 16;
+    elide_reuse_flushes = false;
+    gen_bump_cost = 6.0;
     consistency = Shootdown;
     faults = Fault.none;
     (* Generous enough that a healthy shootdown (hundreds of us even with

@@ -266,7 +266,10 @@ let deallocate vms self t ~lo ~hi =
   t.size_pages <-
     t.size_pages - List.fold_left (fun a e -> a + (e.e_end - e.e_start)) 0 doomed;
   (* Hardware mappings go first, while the map lock prevents refault.
-     The CPU is fetched after the blocking lock: we may have migrated. *)
+     The CPU is fetched after the blocking lock: we may have migrated.
+     Being a pure removal, this is also the elision call site: with
+     Params.elide_reuse_flushes on, Pmap_ops.remove may retire the
+     consistency round as a generation bump (docs/ELISION.md). *)
   if doomed <> [] then
     Pmap_ops.remove vms.Vmstate.ctx
       (Sim.Sched.current_cpu self)

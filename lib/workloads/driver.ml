@@ -40,6 +40,9 @@ type report = {
   batches_opened : int;
   batch_ops : int; (* operations queued into gather batches *)
   batch_flushes : int; (* batch flushes that ran a round *)
+  rounds_elided : int; (* rounds replaced by a generation bump *)
+  gen_bumps : int; (* generation bumps published *)
+  gen_stale_drops : int; (* stale entries evicted at lookup, all TLBs *)
 }
 
 let run ?(params = Sim.Params.production) ?trace ?attach ~name body =
@@ -66,6 +69,12 @@ let run ?(params = Sim.Params.production) ?trace ?attach ~name body =
     batches_opened = ctx.Core.Pmap.batches_opened;
     batch_ops = ctx.Core.Pmap.batch_ops;
     batch_flushes = ctx.Core.Pmap.batch_flushes;
+    rounds_elided = ctx.Core.Pmap.elision_rounds_elided;
+    gen_bumps = ctx.Core.Pmap.elision_gen_bumps;
+    gen_stale_drops =
+      Array.fold_left
+        (fun acc mmu -> acc + Hw.Tlb.gen_stale_drops (Hw.Mmu.tlb mmu))
+        0 ctx.Core.Pmap.mmus;
   }
 
 (* Per-application overhead of shootdowns as a fraction of busy time,

@@ -28,6 +28,13 @@ type report = {
   batches_opened : int;
   batch_ops : int; (** operations queued into gather batches *)
   batch_flushes : int; (** batch flushes that ran a round *)
+  rounds_elided : int;
+      (** shootdown rounds replaced by a generation bump
+          (docs/ELISION.md) *)
+  gen_bumps : int; (** generation bumps published *)
+  gen_stale_drops : int;
+      (** generation-stale TLB entries evicted at lookup, summed over
+          every CPU's TLB *)
 }
 
 val run :

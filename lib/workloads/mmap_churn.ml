@@ -1,0 +1,79 @@
+(* The mmap-churn server workload (docs/ELISION.md): a long-running
+   multi-threaded server process whose workers map a fresh request buffer,
+   fill it, serve the request, and unmap it again — at high rate, forever
+   (well, for [requests] iterations per worker).
+
+   This is the traffic pattern of arXiv 2409.10946 and the numaPTE
+   observation (arXiv 2401.15558): every unmap targets pages the worker
+   just wrote, so the lazy check cannot skip the round, and every other
+   worker keeps the shared address space in use on its own processor, so
+   every round interrupts the whole machine.  Shootdown cost therefore
+   scales with request rate — the workload generation-tagged flush
+   elision is built to collapse, the way Table 1 shows lazy evaluation
+   collapsing Parthenon's startup shootdowns. *)
+
+module Addr = Hw.Addr
+module Task = Vm.Task
+module Vm_map = Vm.Vm_map
+module Machine = Vm.Machine
+
+type config = {
+  workers : int; (* server threads sharing one address space *)
+  requests : int; (* requests served per worker *)
+  buffer_pages_max : int; (* request buffers are 1..max pages *)
+  service_mean : float; (* us of request handling, buffer mapped *)
+  think_mean : float; (* us between requests *)
+}
+
+let default_config =
+  {
+    workers = 12;
+    requests = 30;
+    buffer_pages_max = 4;
+    service_mean = 450.0;
+    think_mean = 120.0;
+  }
+
+let body ?(cfg = default_config) (machine : Machine.t) self =
+  let vms = machine.Machine.vms in
+  let sched = machine.Machine.sched in
+  let prng = Sim.Prng.split (Sim.Engine.prng machine.Machine.eng) in
+  let task = Task.create vms ~name:"churnd" in
+  Task.adopt vms self task;
+  let workers = ref [] in
+  for w = 1 to cfg.workers do
+    let wprng = Sim.Prng.split prng in
+    let th =
+      Task.spawn_thread vms task ~name:(Printf.sprintf "churn%d" w)
+        (fun worker ->
+          let cpu () = Sim.Sched.current_cpu worker in
+          for _req = 1 to cfg.requests do
+            (* map the request buffer and receive into it *)
+            let pages = 1 + Sim.Prng.int wprng cfg.buffer_pages_max in
+            let buf = Vm_map.allocate vms worker task.Task.map ~pages () in
+            (match
+               Task.touch_range vms worker task.Task.map ~lo_vpn:buf ~pages
+                 ~access:Addr.Write_access
+             with
+            | Ok () -> ()
+            | Error _ ->
+                let c = cpu () in
+                Driver.fault ~workload:"mmap-churn" ~what:"buffer fault"
+                  ~cpu:(Sim.Cpu.id c) ~now:(Sim.Cpu.now c) ());
+            (* serve the request *)
+            Sim.Cpu.step (cpu ()) (Sim.Prng.exponential wprng cfg.service_mean);
+            (* unmap the buffer: freshly written pages, remote users on
+               every other CPU — the shootdown (or its elision) *)
+            Vm_map.deallocate vms worker task.Task.map ~lo:buf
+              ~hi:(buf + pages);
+            Sim.Cpu.step (cpu ()) (Sim.Prng.exponential wprng cfg.think_mean)
+          done)
+    in
+    workers := th :: !workers
+  done;
+  List.iter (fun th -> Sim.Sched.join sched self th) !workers;
+  Task.terminate vms self task
+
+let run ?(params = Sim.Params.production) ?trace ?attach
+    ?(cfg = default_config) () =
+  Driver.run ~params ?trace ?attach ~name:"MmapChurn" (body ~cfg)

@@ -159,6 +159,7 @@ let entry ~space ~vpn ~pfn ~prot =
     prot;
     ref_bit = false;
     mod_bit = false;
+    gen = 0;
     pte = dummy_pte ();
   }
 

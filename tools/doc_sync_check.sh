@@ -1,0 +1,48 @@
+#!/bin/sh
+# Docs-sync check (CI fast tier): fail when the documentation index
+# drifts from the code.  Three invariants:
+#
+#   1. every file under docs/ is linked from the README's Map table;
+#   2. every tlbshoot subcommand defined in bin/tlbshoot_cli.ml is
+#      documented (as `tlbshoot <name>`) in EXPERIMENTS.md;
+#   3. every versioned JSON schema string emitted anywhere in bin/ or
+#      lib/ (tlbshoot-*-v1) is named in EXPERIMENTS.md.
+#
+# POSIX sh + grep/sed only; run from the repository root:
+#
+#   sh tools/doc_sync_check.sh
+set -u
+
+fail=0
+complain() {
+  echo "doc-sync: $1" >&2
+  fail=1
+}
+
+[ -f README.md ] && [ -f EXPERIMENTS.md ] && [ -d docs ] || {
+  echo "doc-sync: run from the repository root" >&2
+  exit 2
+}
+
+# 1. Every long-form document is reachable from the README map.
+for doc in docs/*.md; do
+  grep -q "(${doc})" README.md ||
+    complain "${doc} is not linked from README.md"
+done
+
+# 2. Every CLI subcommand is documented in EXPERIMENTS.md.
+for cmd in $(sed -n 's/.*cmd "\([a-z0-9]*\)".*/\1/p' bin/tlbshoot_cli.ml | sort -u); do
+  grep -q "tlbshoot ${cmd}" EXPERIMENTS.md ||
+    complain "subcommand 'tlbshoot ${cmd}' is not documented in EXPERIMENTS.md"
+done
+
+# 3. Every versioned JSON schema the code can emit is documented.
+for schema in $(grep -rho 'tlbshoot-[a-z0-9-]*-v1' bin lib | sort -u); do
+  grep -q "${schema}" EXPERIMENTS.md ||
+    complain "JSON schema '${schema}' is not documented in EXPERIMENTS.md"
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "doc-sync: README map, subcommand index and schema index are in sync"
+fi
+exit "$fail"
