@@ -11,6 +11,8 @@
      tlbshoot trace [--workload tester] [--children 4] [--scale 10]
                     [--json] [--perfetto out.json]
      tlbshoot profile [--runs 10] [--max-procs 15] [--jobs N] [--json]
+     tlbshoot explain [--top K] [--window US] [--runs 10] [--jobs N]
+                      [--json] [--perfetto out.json]
      tlbshoot scale1024 [--runs 3] [--full] [--cluster-size 16] [--jobs N]
                         [--json]
      tlbshoot all [--scale 100] [--jobs N]
@@ -151,6 +153,12 @@ let run_trace ~workload ~children ~scale ~emit_json ~perfetto =
       failwith
         (Printf.sprintf
            "unknown workload %S (tester|mach|parthenon|agora|camelot)" other));
+  (* A capped ring that wrapped lost its oldest spans: say so on stderr
+     at report time, whatever the output format, so a truncated stream
+     is never mistaken for a complete one. *)
+  (match Instrument.Trace.dropped_warning tr with
+  | Some w -> prerr_endline w
+  | None -> ());
   (match perfetto with
   | Some file ->
       let oc = open_out file in
@@ -174,6 +182,44 @@ let print_profile ~jobs ~runs ~max_procs ~emit_json =
     print_string (Instrument.Json.to_string (Experiments.Knee.to_json k))
   else print_string (Experiments.Knee.render k);
   if not (Experiments.Knee.knee_holds k) then exit 1
+
+(* The tail analyzer (docs/TAIL.md): figure2 with the per-round flight
+   recorder and windowed timeline attached; explains which phase — and
+   which straggler responder — makes the slowest rounds slow.  Exits 1
+   unless the tail gate holds: zero unattributed time everywhere, oracle
+   green, and the top-K critical path is ack-wait at 16 CPUs but not at
+   4 (CI gate). *)
+let print_explain ~jobs ~runs ~max_procs ~top ~window ~emit_json ~perfetto =
+  let t =
+    Experiments.Tail.run ~jobs ~runs_per_point:runs ~max_procs ~top_k:top
+      ~window ()
+  in
+  (match perfetto with
+  | None -> ()
+  | Some file -> (
+      (* the largest point carries the interesting tail: write its
+         timeline as Perfetto counter tracks *)
+      let hi =
+        List.fold_left
+          (fun m (p : Experiments.Tail.point) ->
+            Stdlib.max m p.Experiments.Tail.cpus)
+          0 t.Experiments.Tail.points
+      in
+      match Experiments.Tail.find_point t ~cpus:hi with
+      | Some p -> (
+          match Instrument.Flight.timeline p.Experiments.Tail.flight with
+          | Some tl ->
+              let oc = open_out file in
+              output_string oc (Instrument.Perfetto.timeline_to_string tl);
+              close_out oc;
+              Printf.printf "wrote timeline counter tracks (%d cpus) to %s\n"
+                hi file
+          | None -> ())
+      | None -> ()));
+  if emit_json then
+    print_string (Instrument.Json.to_string (Experiments.Tail.to_json t))
+  else print_string (Experiments.Tail.render t);
+  if not (Experiments.Tail.gate_holds t) then exit 1
 
 (* The hierarchical scale sweep (docs/TOPOLOGY.md): Figure 2 at
    4..1024 CPUs on a clustered machine, with the numaPTE-style
@@ -456,6 +502,51 @@ let profile_cmd =
           print_profile ~jobs ~runs ~max_procs ~emit_json)
       $ jobs_arg $ runs_arg $ max_procs_arg $ json_arg)
 
+let explain_cmd =
+  let top_arg =
+    Arg.(
+      value
+      & opt int Instrument.Flight.default_top_k
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Slowest rounds retained per recorder merge.")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt float Instrument.Timeline.default_window
+      & info [ "window" ] ~docv:"US"
+          ~doc:"Timeline window width in simulated microseconds.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the analysis as a JSON report (tlbshoot-tail-v1, \
+             embedding tlbshoot-flight-v1 and tlbshoot-timeline-v1).")
+  in
+  let perfetto_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Write the largest point's timeline as Perfetto counter \
+             tracks (one track per series) loadable in ui.perfetto.dev.")
+  in
+  cmd "explain"
+    "Run the Figure 2 sweep with the per-round flight recorder attached \
+     and explain the tail: exact per-phase blame, straggler responders, \
+     top-K slowest rounds, windowed rates (exits 1 unless blame sums \
+     exactly to round latency everywhere and the top-K critical path is \
+     responder ack-wait at 16 CPUs but not at 4)"
+    Term.(
+      const (fun jobs runs max_procs top window emit_json perfetto ->
+          print_explain ~jobs ~runs ~max_procs ~top ~window ~emit_json
+            ~perfetto)
+      $ jobs_arg $ runs_arg $ max_procs_arg $ top_arg $ window_arg $ json_arg
+      $ perfetto_arg)
+
 let scale1024_cmd =
   let runs_arg =
     Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Runs per scale point.")
@@ -611,6 +702,7 @@ let () =
         tester_cmd;
         trace_cmd;
         profile_cmd;
+        explain_cmd;
         scale1024_cmd;
         check_cmd;
         all_cmd;

@@ -63,6 +63,9 @@ type ctx = {
   mutable trace : Instrument.Trace.t option;
       (* structured span stream; attached by the trace CLI / workload
          drivers, None (and cost-free) otherwise *)
+  mutable flight : Instrument.Flight.t option;
+      (* per-round flight recorder (docs/TAIL.md); same one-branch
+         contract as [trace] when detached *)
   resp_enter_at : float array;
   shoot_start_at : float array;
       (* per-CPU timestamps of the last responder.enter /
@@ -145,6 +148,7 @@ let create_ctx ~eng ~bus ~cpus ~mmus ~mem ~params ~xpr =
       mem;
       xpr;
       trace = None;
+      flight = None;
       resp_enter_at = Array.make n nan;
       shoot_start_at = Array.make n nan;
       active = Array.make n false;

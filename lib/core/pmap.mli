@@ -56,6 +56,9 @@ type ctx = {
   xpr : Instrument.Xpr.t;
   mutable trace : Instrument.Trace.t option;
       (** structured span stream; [None] (and cost-free) unless attached *)
+  mutable flight : Instrument.Flight.t option;
+      (** per-round flight recorder (docs/TAIL.md); [None] (one branch,
+          cost-free) unless attached *)
   resp_enter_at : float array;
   shoot_start_at : float array;
       (** per-CPU timestamps of the last [responder.enter] /

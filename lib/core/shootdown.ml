@@ -22,6 +22,13 @@ module Page_table = Hw.Page_table
 module Mmu = Hw.Mmu
 module Tlb = Hw.Tlb
 module Xpr = Instrument.Xpr
+module Flight = Instrument.Flight
+
+(* Flight-recorder hook (docs/TAIL.md): one branch of cost while no
+   recorder is attached — the same contract as tracing and profiling.
+   The hooks only read the clock; they never advance it and draw nothing
+   from any PRNG, so a recorded run is byte-identical to a bare one. *)
+let fl ctx f = match ctx.Pmap.flight with Some rec_ -> f rec_ | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* TLB invalidation: below the threshold invalidate entries one at a
@@ -190,6 +197,9 @@ let responder ctx (cpu : Sim.Cpu.t) =
   ctx.Pmap.shoot_phase.(id) <- "responding";
   Shoot_trace.record ctx ~code:Shoot_trace.c_resp_enter ~cpu:id ();
   let entered = Sim.Cpu.now cpu in
+  fl ctx (fun f ->
+      Flight.responder_enter f ~cpu:id ~at:entered
+        ~posted:cpu.Sim.Cpu.last_shoot_posted_at);
   let saved = Sim.Cpu.set_ipl cpu Sim.Interrupt.ipl_high in
   (* Rejoin the set we were found in: an interrupt caught by an idle
      processor (raced against going idle) must not mark it active, or a
@@ -209,6 +219,7 @@ let responder ctx (cpu : Sim.Cpu.t) =
     Sim.Bus.access ctx.Pmap.bus ~who:id ~home:0 ();
     cpu.Sim.Cpu.note <- "responder-spin";
     Shoot_trace.record ctx ~code:Shoot_trace.c_resp_ack ~cpu:id ();
+    fl ctx (fun f -> Flight.responder_ack f ~cpu:id ~at:(Sim.Cpu.now cpu));
     if responder_must_stall ctx.Pmap.params then begin
       Sim.Cpu.prof_enter cpu Instrument.Profile.Ack_wait;
       while relevant_pmap_locked ctx cpu do
@@ -218,13 +229,16 @@ let responder ctx (cpu : Sim.Cpu.t) =
     end;
     (* Phase 4: drain the queued invalidations and rejoin. *)
     Shoot_trace.record ctx ~code:Shoot_trace.c_resp_drain ~cpu:id ();
+    fl ctx (fun f -> Flight.responder_drain f ~cpu:id ~at:(Sim.Cpu.now cpu));
     if process_queued_actions ctx cpu then touched_kernel := true;
     ctx.Pmap.active.(id) <- was_active;
     Sim.Bus.access ctx.Pmap.bus ~who:id ~home:0 ()
   done;
   ctx.Pmap.shoot_phase.(id) <- "responded";
-  if !did_work then
+  if !did_work then begin
     Shoot_trace.record ctx ~code:Shoot_trace.c_resp_done ~cpu:id ();
+    fl ctx (fun f -> Flight.responder_done f ~cpu:id ~at:(Sim.Cpu.now cpu))
+  end;
   Sim.Cpu.restore_ipl cpu saved;
   let elapsed = Sim.Cpu.now cpu -. entered in
   ctx.Pmap.shootdown_responder_time <- ctx.Pmap.shootdown_responder_time +. elapsed;
@@ -275,6 +289,9 @@ let send_ipis ctx (cpu : Sim.Cpu.t) targets =
   let post target =
     Shoot_trace.record ctx ~code:Shoot_trace.c_ipi_sent ~cpu:me
       ~arg2:(Sim.Cpu.id target) ();
+    fl ctx (fun f ->
+        Flight.ipi_posted f ~cpu:me ~target:(Sim.Cpu.id target)
+          ~at:(Sim.Cpu.now cpu));
     Sim.Engine.after eng params.ipi_latency (fun () ->
         Sim.Cpu.post target Sim.Interrupt.Shootdown)
   in
@@ -380,6 +397,7 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
   let params = ctx.Pmap.params in
   let me = Sim.Cpu.id cpu in
   ctx.Pmap.shootdowns_initiated <- ctx.Pmap.shootdowns_initiated + 1;
+  fl ctx (fun f -> Flight.round_shoot f ~cpu:me ~at:(Sim.Cpu.now cpu));
   (* Local TLB first: the initiator's own buffer may hold the mapping. *)
   if pmap.Pmap.in_use.(me) then
     invalidate_local_ranges ctx cpu ~space:pmap.Pmap.space_id ~ranges;
@@ -445,6 +463,7 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
     in
     let timeout = params.shoot_watchdog_timeout in
     let barrier_started = Sim.Cpu.now cpu in
+    fl ctx (fun f -> Flight.barrier_start f ~cpu:me ~at:barrier_started);
     Sim.Cpu.prof_enter cpu Instrument.Profile.Ack_wait;
     List.iter
       (fun (other : Sim.Cpu.t) ->
@@ -473,6 +492,12 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
                 ctx.Pmap.watchdog_retries <- ctx.Pmap.watchdog_retries + 1;
                 Shoot_trace.record ctx ~code:Shoot_trace.c_watchdog_retry
                   ~cpu:me ~arg2:oid ();
+                fl ctx (fun f ->
+                    let at = Sim.Cpu.now cpu in
+                    Flight.retry f ~cpu:me ~at;
+                    (* a real IPI on the wire; r_posted keeps the
+                       original raise for delivery attribution *)
+                    Flight.ipi_posted f ~cpu:me ~target:oid ~at);
                 Sim.Cpu.raw_delay cpu params.ipi_send_cost;
                 Sim.Bus.access ctx.Pmap.bus ~who:me ~home:oid ();
                 ctx.Pmap.ipis_sent <- ctx.Pmap.ipis_sent + 1;
@@ -493,9 +518,17 @@ let shoot ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~pages ~started =
     Sim.Cpu.prof_leave cpu;
     Sim.Cpu.prof_observe cpu ~name:"shoot/barrier_us"
       (Sim.Cpu.now cpu -. barrier_started);
+    fl ctx (fun f -> Flight.barrier_done f ~cpu:me ~at:(Sim.Cpu.now cpu));
     Shoot_trace.record ctx ~code:Shoot_trace.c_barrier_done ~cpu:me ()
     end
   end;
+  (* A round with no remote users (or the checker's skip-barrier mutant)
+     never reached the barrier: collapse Post/Ack_wait here.  First
+     write wins, so a barrier that ran keeps its real boundaries. *)
+  fl ctx (fun f ->
+      let at = Sim.Cpu.now cpu in
+      Flight.barrier_start f ~cpu:me ~at;
+      Flight.barrier_done f ~cpu:me ~at);
   let elapsed = Sim.Cpu.now cpu -. started in
   (* A shootdown event proper requires somebody to shoot at; invocations
      that found no other processor using the pmap only did local work. *)
@@ -626,8 +659,8 @@ let elide_round ctx (cpu : Sim.Cpu.t) (pmap : Pmap.t) =
    (unmap / unmap-heavy batch): for those — and only with
    [Params.elide_reuse_flushes] on, for a user pmap with remote users —
    the round is elided via [elide_round] above. *)
-let with_update_ranges ?(elide_reuse = false) ctx (cpu : Sim.Cpu.t)
-    (pmap : Pmap.t) ~ranges ~may_be_inconsistent ~update =
+let with_update_ranges ?(elide_reuse = false) ?(origin = Flight.Round) ctx
+    (cpu : Sim.Cpu.t) (pmap : Pmap.t) ~ranges ~may_be_inconsistent ~update =
   let params = ctx.Pmap.params in
   let me = Sim.Cpu.id cpu in
   (* Completion hook for the consistency oracle (cost-free when absent).
@@ -678,6 +711,12 @@ let with_update_ranges ?(elide_reuse = false) ctx (cpu : Sim.Cpu.t)
       Sim.Spinlock.release pmap.Pmap.lock cpu ~saved_ipl:saved;
       check_oracle "update-complete"
   | Sim.Params.Shootdown ->
+      (* The flight record opens where the algorithm is entered, before
+         the active-set leave and the lock acquire, so Lock_wait covers
+         the full entry-to-locked interval. *)
+      fl ctx (fun f ->
+          Flight.round_start f ~cpu:me ~at:(Sim.Cpu.now cpu) ~kind:origin
+            ~pmap:pmap.Pmap.pname ~pages:(range_pages ranges));
       (* Figure 1: disable interrupts and leave the active set first, so a
          concurrent initiator shooting at us cannot deadlock with our wait
          (we will service its actions when we re-enable interrupts). *)
@@ -691,6 +730,7 @@ let with_update_ranges ?(elide_reuse = false) ctx (cpu : Sim.Cpu.t)
          runs from entering the algorithm to being able to change the
          pmap, including the fixed bookkeeping below. *)
       let started = Sim.Cpu.now cpu in
+      fl ctx (fun f -> Flight.round_lock f ~cpu:me ~at:started);
       Sim.Cpu.raw_delay cpu params.shoot_entry_cost;
       let inconsistent = may_be_inconsistent () in
       (* Elide the round when the caller vouches the update only removes
@@ -712,9 +752,19 @@ let with_update_ranges ?(elide_reuse = false) ctx (cpu : Sim.Cpu.t)
           shoot ctx cpu pmap ~ranges ~pages:(range_pages ranges) ~started
         end
         else begin
-          if not inconsistent then
+          if not inconsistent then begin
             ctx.Pmap.shootdowns_skipped_lazy <-
               ctx.Pmap.shootdowns_skipped_lazy + 1;
+            (* the lazy check proved no consistency round necessary —
+               nothing to attribute, drop the open record *)
+            fl ctx (fun f -> Flight.round_abort f ~cpu:me)
+          end
+          else
+            (* elided round: no IPIs, no barrier — Post and Ack_wait
+               collapse to zero width at the decision point *)
+            fl ctx (fun f ->
+                Flight.round_no_shoot f ~cpu:me ~at:(Sim.Cpu.now cpu)
+                  ~kind:Flight.Elided);
           []
         end
       in
@@ -722,6 +772,7 @@ let with_update_ranges ?(elide_reuse = false) ctx (cpu : Sim.Cpu.t)
       ctx.Pmap.shoot_phase.(me) <- "updating:" ^ pmap.Pmap.pname;
       let update_started = Sim.Cpu.now cpu in
       update ();
+      fl ctx (fun f -> Flight.update_done f ~cpu:me ~at:(Sim.Cpu.now cpu));
       if inconsistent then
         Sim.Cpu.prof_observe cpu ~name:"shoot/update_us"
           (Sim.Cpu.now cpu -. update_started);
@@ -748,6 +799,11 @@ let with_update_ranges ?(elide_reuse = false) ctx (cpu : Sim.Cpu.t)
         Shoot_trace.record ctx ~code:Shoot_trace.c_update_done ~cpu:me ();
       ctx.Pmap.shoot_phase.(me) <- "done";
       ctx.Pmap.active.(me) <- was_active;
+      (* The record closes here, *before* interrupts are re-enabled:
+         restore_ipl services any device interrupt that arrived while the
+         initiator ran masked, and that deferred handler time belongs to
+         the device, not to this round's Finish residual. *)
+      fl ctx (fun f -> Flight.round_end f ~cpu:me ~at:(Sim.Cpu.now cpu));
       Sim.Cpu.restore_ipl cpu s;
       check_oracle "shootdown-complete"
 

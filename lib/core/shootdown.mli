@@ -34,6 +34,7 @@ val with_update :
 
 val with_update_ranges :
   ?elide_reuse:bool ->
+  ?origin:Instrument.Flight.kind ->
   Pmap.ctx ->
   Sim.Cpu.t ->
   Pmap.t ->
@@ -46,7 +47,12 @@ val with_update_ranges :
     range action per coalesced range.  The flush-threshold decision is
     made on the total page count, and a large batch naturally overflows
     the fixed-size action queues into the responders' flush-everything
-    path.  A singleton list is exactly {!with_update}. *)
+    path.  A singleton list is exactly {!with_update}.
+
+    [origin] (default [Instrument.Flight.Round]) tags the round's flight
+    record when a recorder is attached — [Gather.flush] passes
+    [Gather_flush]; an elided round is retagged [Elided] regardless
+    (docs/TAIL.md). *)
 
 val gen_limit : int
 (** Generation-counter wrap budget: at this value the elision path runs a

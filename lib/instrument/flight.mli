@@ -1,0 +1,190 @@
+(** Per-round flight recorder with critical-path attribution.
+
+    Where {!Profile} and {!Histogram} aggregate, a flight recorder keeps
+    one causal record per consistency round — the initiator's timestamp
+    chain plus every responder's delivery/enter/ack/drain times — and
+    reduces each to an exact per-phase blame decomposition, a critical
+    path (which phase, and for the barrier which straggler responder,
+    made the round slow), a bounded top-K reservoir of the slowest
+    rounds, and exact whole-run phase totals.  Detached it costs the
+    simulation one branch; attached it costs zero simulated time and
+    draws nothing from any PRNG (docs/TAIL.md). *)
+
+(** The six consecutive initiator phases of a round, in causal order. *)
+type phase =
+  | Lock_wait  (** entering the algorithm → pmap lock acquired *)
+  | Setup  (** entry bookkeeping + the lazy inconsistency check *)
+  | Post  (** local invalidate, action queueing, IPI sends (phase 1) *)
+  | Ack_wait  (** the acknowledgement barrier (phase 2) *)
+  | Update  (** the page-table change itself (phase 3) *)
+  | Finish  (** gen bump / forced invalidation / unlock (phase 4) *)
+
+val phases : phase list
+(** In causal order. *)
+
+val phase_name : phase -> string
+
+(** What kind of consistency round a record describes. *)
+type kind =
+  | Round  (** an ordinary shootdown round *)
+  | Gather_flush  (** a gather batch retiring its deferred ranges *)
+  | Elided  (** replaced by a generation bump (no IPIs) *)
+
+val kind_name : kind -> string
+
+(** One responder's view of a round; timestamps are [nan] until the
+    corresponding event is observed. *)
+type responder = {
+  r_cpu : int;
+  mutable r_posted : float;
+  mutable r_enter : float;
+  mutable r_ack : float;
+  mutable r_drain : float;
+  mutable r_done : float;
+}
+
+(** The causal record of one round.  The chain
+    [t_start <= t_lock <= t_shoot <= t_barrier <= t_barrier_done
+     <= t_update_done <= t_end] bounds the six phases. *)
+type record = {
+  seq : int;
+  cpu : int;
+  kind : kind;
+  pmap : string;
+  pages : int;
+  t_start : float;
+  mutable t_lock : float;
+  mutable t_shoot : float;
+  mutable t_barrier : float;
+  mutable t_barrier_done : float;
+  mutable t_update_done : float;
+  mutable t_end : float;
+  mutable retries : int;
+  mutable responders : responder list;  (** reversed posting order *)
+}
+
+val duration : record -> float
+(** End-to-end latency, [t_end -. t_start]. *)
+
+val blame : record -> (phase * float) list
+(** The per-phase blame decomposition: adjacent differences of the
+    timestamp chain, with [Finish] the exact residual so the six
+    durations sum to {!duration} bit for bit. *)
+
+val attributed_exactly : record -> bool
+(** No unattributed time: every chain timestamp finite, every phase
+    nonnegative, and the {!blame} sum exactly equal to {!duration}.
+    A missed capture point or mis-ordered hook fails this. *)
+
+(** Critical-path attribution for one record. *)
+type critical = {
+  c_phase : phase;  (** the phase with the largest blame *)
+  c_blame : float;
+  c_cpu : int;
+      (** when [c_phase] is [Ack_wait]: the responder whose ack arrived
+          last; [-1] otherwise *)
+  c_detail : string;  (** ["delivery"] | ["handler"] | [""] *)
+}
+
+val critical : record -> critical
+
+type t
+
+val default_top_k : int
+(** 16. *)
+
+val create : ?top_k:int -> ncpus:int -> unit -> t
+(** A recorder for initiator CPUs [0 .. ncpus-1] keeping the [top_k]
+    slowest rounds.
+    @raise Invalid_argument when [top_k < 1] or [ncpus < 1]. *)
+
+val ncpus : t -> int
+val top_k : t -> int
+
+val set_timeline : t -> Timeline.t option -> unit
+(** Attach a timeline to receive the derived series as rounds complete:
+    counters [rounds], [ipis], [elisions], [retries] and samples
+    [round_latency_us]. *)
+
+val timeline : t -> Timeline.t option
+
+(** {2 Initiator-side hooks} (driven by [Core.Shootdown])
+
+    Chain setters are first-write-wins: the driver fills any boundary a
+    round legitimately skipped (no remote users → no barrier) with a
+    zero-width catch-up write, without clobbering one that ran. *)
+
+val round_start :
+  t -> cpu:int -> at:float -> kind:kind -> pmap:string -> pages:int -> unit
+
+val round_lock : t -> cpu:int -> at:float -> unit
+val round_shoot : t -> cpu:int -> at:float -> unit
+
+val round_no_shoot : t -> cpu:int -> at:float -> kind:kind -> unit
+(** The round proceeds without a shootdown (elision): collapses [Post]
+    and [Ack_wait] to zero width and retags the record. *)
+
+val ipi_posted : t -> cpu:int -> target:int -> at:float -> unit
+(** A re-post for the same round (watchdog retry) keeps the original
+    posting time. *)
+
+val barrier_start : t -> cpu:int -> at:float -> unit
+val barrier_done : t -> cpu:int -> at:float -> unit
+val retry : t -> cpu:int -> at:float -> unit
+val update_done : t -> cpu:int -> at:float -> unit
+
+val round_abort : t -> cpu:int -> unit
+(** The lazy check proved no round necessary; drop the open record. *)
+
+val round_end : t -> cpu:int -> at:float -> unit
+(** Completes and finalizes the open record: blame totals, top-K
+    insertion, attribution check, timeline forwarding. *)
+
+(** {2 Responder-side hooks} — each event attaches to every open round
+    that posted an IPI at this CPU and has not yet seen the event. *)
+
+val responder_enter : t -> cpu:int -> at:float -> posted:float -> unit
+(** [posted] is the delivered interrupt's own raise time as captured at
+    dispatch; when finite and earlier it refines [r_posted]. *)
+
+val responder_ack : t -> cpu:int -> at:float -> unit
+val responder_drain : t -> cpu:int -> at:float -> unit
+val responder_done : t -> cpu:int -> at:float -> unit
+
+(** {2 Results} *)
+
+val rounds : t -> int
+val elided_rounds : t -> int
+val gather_rounds : t -> int
+val ipis : t -> int
+val retries : t -> int
+
+val unattributed : t -> int
+(** Completed rounds that failed {!attributed_exactly} — always 0 unless
+    a capture point is missing or mis-ordered. *)
+
+val top : t -> record list
+(** The slowest completed rounds, slowest first, at most {!top_k}. *)
+
+val phase_total : t -> phase -> float
+(** Exact blame sum over all completed rounds (not just the top-K). *)
+
+val attributed_total : t -> float
+
+val dominant_phase : t -> phase option
+(** Whole-run dominant phase by exact totals; [None] before any round. *)
+
+val tail_dominant : t -> phase option
+(** The mode of the top-K rounds' critical-path phases. *)
+
+val merge : into:t -> t -> unit
+(** Ordered exact merge (the [Profile.merge] contract: merge trial
+    results in trial order for byte-identical [--jobs] sweeps).  Merges
+    attached timelines when both sides have one.
+    @raise Invalid_argument on mismatched [ncpus]/[top_k] or an open
+    in-flight round in the source. *)
+
+val to_json : t -> Json.t
+(** Schema ["tlbshoot-flight-v1"]: counters, exact phase totals,
+    dominant phases, and the top-K records with per-record blame,
+    critical path, and responder timelines. *)

@@ -98,3 +98,62 @@ let to_json ?(process_name = "tlbshoot sim") tr =
     ]
 
 let to_string ?process_name tr = Json.to_string (to_json ?process_name tr)
+
+(* --- Timeline counter tracks ---
+
+   A Timeline renders as counter ("C") events: one counter track per
+   series — Perfetto keys counter tracks by (pid, name) — with one event
+   per window at the window's start time.  Windows are emitted in index
+   order, so [ts] is monotonic within every track.  Counter series carry
+   a single ["count"] value; sample series emit one track whose args are
+   the window's p50/p99 quantiles (two lines on one track). *)
+
+let counter_tid = 0
+
+let counter_event ~series ~ts fields =
+  Json.Obj
+    [
+      ("name", Json.Str series);
+      ("cat", Json.Str "timeline");
+      ("ph", Json.Str "C");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int counter_tid);
+      ("ts", Json.Float ts);
+      ("args", Json.Obj fields);
+    ]
+
+let counter_events tl =
+  List.concat_map
+    (fun series ->
+      let counters =
+        List.map
+          (fun (i, n) ->
+            counter_event ~series
+              ~ts:(float_of_int i *. Timeline.window tl)
+              [ ("count", Json.Int n) ])
+          (Timeline.counter_windows tl ~series)
+      and samples =
+        List.map
+          (fun (i, h) ->
+            counter_event ~series
+              ~ts:(float_of_int i *. Timeline.window tl)
+              [
+                ("p50", Json.Float (Histogram.quantile h 0.5));
+                ("p99", Json.Float (Histogram.quantile h 0.99));
+              ])
+          (Timeline.sample_windows tl ~series)
+      in
+      counters @ samples)
+    (Timeline.series_names tl)
+
+let timeline_to_json ?(process_name = "tlbshoot timeline") tl =
+  let names =
+    [
+      metadata ~name:"process_name" ~tid:counter_tid
+        [ ("name", Json.Str process_name) ];
+    ]
+  in
+  Json.Obj [ ("traceEvents", Json.List (names @ counter_events tl)) ]
+
+let timeline_to_string ?process_name tl =
+  Json.to_string (timeline_to_json ?process_name tl)

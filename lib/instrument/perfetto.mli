@@ -11,3 +11,15 @@ val to_json : ?process_name:string -> Trace.t -> Json.t
 (** [{"traceEvents": [...], "otherData": {"emitted": n, "dropped": n}}]. *)
 
 val to_string : ?process_name:string -> Trace.t -> string
+
+val counter_events : Timeline.t -> Json.t list
+(** A {!Timeline} as Perfetto counter ("C") events: one counter track
+    per series (Perfetto keys counter tracks by [(pid, name)]), one
+    event per window at the window's start time, windows in index order
+    so [ts] is monotonic within every track.  Counter series carry a
+    ["count"] arg; sample series carry ["p50"]/["p99"]. *)
+
+val timeline_to_json : ?process_name:string -> Timeline.t -> Json.t
+(** A standalone loadable trace wrapping {!counter_events}. *)
+
+val timeline_to_string : ?process_name:string -> Timeline.t -> string

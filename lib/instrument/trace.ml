@@ -75,6 +75,18 @@ let length t = t.stored
 let emitted t = t.count
 let dropped t = t.dropped
 
+(* A capped buffer that wrapped has silently lost the oldest spans;
+   report consumers print this so a truncated trace is never mistaken
+   for a complete one. *)
+let dropped_warning t =
+  if t.dropped = 0 then None
+  else
+    Some
+      (Printf.sprintf
+         "warning: trace ring buffer dropped %d of %d spans (oldest \
+          overwritten); raise the capacity to keep the full stream"
+         t.dropped t.count)
+
 let spans t =
   match t.cap with
   | None -> List.rev t.spans

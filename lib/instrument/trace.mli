@@ -50,6 +50,11 @@ val emitted : t -> int
 val dropped : t -> int
 (** Spans overwritten by a capped buffer ([0] when unbounded). *)
 
+val dropped_warning : t -> string option
+(** A human-readable warning when {!dropped} is nonzero — report
+    consumers print it on stderr so a truncated trace is never mistaken
+    for a complete one; [None] when nothing was lost. *)
+
 val spans : t -> span list
 (** Retained spans in emission order (the oldest retained first). *)
 

@@ -33,6 +33,11 @@ type t = {
   mutable note : string; (* diagnostic: what this CPU is currently doing *)
   mutable profile : Instrument.Profile.t option;
       (* contention profiler; None (and cost-free) unless attached *)
+  mutable last_shoot_posted_at : float;
+      (* raise time of the shootdown IPI currently being dispatched
+         (earliest post when coalesced); nan outside a dispatch.  Read by
+         the flight recorder's responder_enter hook to split delivery
+         latency from handler time (docs/TAIL.md). *)
 }
 
 let id t = t.id
@@ -134,7 +139,10 @@ let rec check_interrupts t =
         raw_delay t t.params.intr_dispatch_cost;
         Bus.access t.bus ~n:t.params.intr_dispatch_bus_writes ~who:t.id ();
         (match p.kind with
-        | Interrupt.Shootdown -> t.shootdown_handler t
+        | Interrupt.Shootdown ->
+            t.last_shoot_posted_at <- p.posted_at;
+            t.shootdown_handler t;
+            t.last_shoot_posted_at <- nan
         | Interrupt.Device -> t.device_handler t);
         raw_delay t t.params.intr_return_cost;
         prof_leave t;
@@ -187,6 +195,7 @@ let create eng bus (params : Params.t) ~id =
     store_backlog = 0.0;
     note = "boot";
     profile = None;
+    last_shoot_posted_at = nan;
   }
   in
   t.sleep_register <-

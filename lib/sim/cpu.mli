@@ -36,6 +36,11 @@ type t = {
   mutable note : string;  (** diagnostic: current activity label *)
   mutable profile : Instrument.Profile.t option;
       (** contention profiler; [None] (and cost-free) unless attached *)
+  mutable last_shoot_posted_at : float;
+      (** raise time of the shootdown IPI currently being dispatched
+          (earliest post when coalesced); [nan] outside a dispatch — the
+          flight recorder reads it to split IPI delivery latency from
+          handler time (docs/TAIL.md) *)
 }
 
 val create : Engine.t -> Bus.t -> Params.t -> id:int -> t

@@ -221,6 +221,11 @@ let attach_profile t profile =
     Instrument.Profile.set_clusters profile
       (Array.init t.params.ncpus (Sim.Params.cluster_of t.params))
 
+(* Attach a per-round flight recorder (docs/TAIL.md): Core.Shootdown
+   starts emitting one causal record per consistency round.  Same
+   behaviour-neutrality contract as [attach_profile]. *)
+let attach_flight t flight = t.ctx.Pmap.flight <- Some flight
+
 (* Total busy CPU time, for overhead percentages. *)
 let total_busy_time t =
   Array.fold_left (fun acc (c : Sim.Cpu.t) -> acc +. c.Sim.Cpu.busy_time) 0.0 t.cpus

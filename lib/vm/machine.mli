@@ -44,5 +44,10 @@ val attach_profile : t -> Instrument.Profile.t -> unit
     cost and draw nothing from any PRNG, so results stay byte-identical
     to an unprofiled run. *)
 
+val attach_flight : t -> Instrument.Flight.t -> unit
+(** Attach a per-round flight recorder: [Core.Shootdown] emits one causal
+    record per consistency round (docs/TAIL.md).  Behaviour-neutral under
+    the same contract as {!attach_profile}. *)
+
 val total_busy_time : t -> float
 (** Sum of per-CPU busy time, for overhead percentages. *)

@@ -30,8 +30,8 @@ type result = {
    sweeps, where hundreds of children need longer to all announce. *)
 let warmup_time = 3_000.0
 
-let run ?(pages = 1) ?(warmup = warmup_time) ?grace (machine : Machine.t)
-    ~children () =
+let run ?(pages = 1) ?(churn_rounds = 0) ?(churn_gap = 150.0)
+    ?(warmup = warmup_time) ?grace (machine : Machine.t) ~children () =
   let vms = machine.Machine.vms in
   let sched = machine.Machine.sched in
   let xpr = machine.Machine.xpr in
@@ -54,6 +54,31 @@ let run ?(pages = 1) ?(warmup = warmup_time) ?grace (machine : Machine.t)
           let c = Sim.Sched.current_cpu self in
           Driver.fault ~workload:"tester" ~what:"cannot touch counter pages"
             ~cpu:(Sim.Cpu.id c) ~now:(Sim.Cpu.now c) ());
+      (* Churn pages (tail-attribution mode, churn_rounds > 0): throwaway
+         pages the main thread maps and touches now — so their PTEs are
+         live and an unmap cannot be skipped lazily — and deallocates one
+         at a time after the warmup, each unmap a full shootdown round
+         against every processor running a child.  With [churn_rounds = 0]
+         this block allocates nothing and the run is event-for-event the
+         historical single-round tester. *)
+      let churn_vpn =
+        if churn_rounds = 0 then page_vpn (* unused *)
+        else begin
+          let vpn =
+            Vm_map.allocate vms self task.Task.map ~pages:churn_rounds ()
+          in
+          (match
+             Task.touch_range vms self task.Task.map ~lo_vpn:vpn
+               ~pages:churn_rounds ~access:Addr.Write_access
+           with
+          | Ok () -> ()
+          | Error _ ->
+              let c = Sim.Sched.current_cpu self in
+              Driver.fault ~workload:"tester" ~what:"cannot touch churn pages"
+                ~cpu:(Sim.Cpu.id c) ~now:(Sim.Cpu.now c) ());
+          vpn
+        end
+      in
       let started = Sim.Sync.create_mutex "tester-started" in
       let started_cv = Sim.Sync.create_condvar "tester-started-cv" in
       let running = ref 0 in
@@ -120,6 +145,16 @@ let run ?(pages = 1) ?(warmup = warmup_time) ?grace (machine : Machine.t)
       Sim.Sync.unlock sched self started;
       (* Let them hammer the page for a while with warm TLB entries. *)
       Sim.Sched.sleep sched self warmup;
+      (* Churn phase: one unmap — one k-responder consistency round — per
+         throwaway page, spaced by [churn_gap] so rounds sample the
+         background (device-interrupt) state independently.  The children
+         never touch these pages; they only supply the active processors
+         the protocol must quiesce. *)
+      for j = 0 to churn_rounds - 1 do
+        Vm_map.deallocate vms self task.Task.map ~lo:(churn_vpn + j)
+          ~hi:(churn_vpn + j + 1);
+        Sim.Sched.sleep sched self churn_gap
+      done;
       (* Reprotect to read-only: the shootdown under test. *)
       Vm_map.protect vms self task.Task.map ~lo:page_vpn
         ~hi:(page_vpn + pages) ~prot:Addr.Prot_read;
@@ -173,8 +208,8 @@ let run ?(pages = 1) ?(warmup = warmup_time) ?grace (machine : Machine.t)
   | None -> Driver.fault ~workload:"tester" ~what:"no outcome recorded" ()
 
 (* Fresh machine per run, as the experiments require. *)
-let run_fresh ?(params = Sim.Params.default) ?(pages = 1) ?warmup ?grace
-    ~children ~seed () =
+let run_fresh ?(params = Sim.Params.default) ?(pages = 1) ?churn_rounds
+    ?churn_gap ?warmup ?grace ~children ~seed () =
   let params = { params with seed } in
   let machine = Machine.create ~params () in
-  run ~pages ?warmup ?grace machine ~children ()
+  run ~pages ?churn_rounds ?churn_gap ?warmup ?grace machine ~children ()

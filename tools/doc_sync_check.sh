@@ -6,7 +6,10 @@
 #   2. every tlbshoot subcommand defined in bin/tlbshoot_cli.ml is
 #      documented (as `tlbshoot <name>`) in EXPERIMENTS.md;
 #   3. every versioned JSON schema string emitted anywhere in bin/ or
-#      lib/ (tlbshoot-*-v1) is named in EXPERIMENTS.md.
+#      lib/ (tlbshoot-*-v1) is named in EXPERIMENTS.md;
+#   4. the reverse of 3: every schema EXPERIMENTS.md names still exists
+#      in the code, so the docs cannot keep advertising a schema that
+#      was renamed or deleted.
 #
 # POSIX sh + grep/sed only; run from the repository root:
 #
@@ -40,6 +43,12 @@ done
 for schema in $(grep -rho 'tlbshoot-[a-z0-9-]*-v1' bin lib | sort -u); do
   grep -q "${schema}" EXPERIMENTS.md ||
     complain "JSON schema '${schema}' is not documented in EXPERIMENTS.md"
+done
+
+# 4. Every schema the docs advertise still exists in the code.
+for schema in $(grep -ho 'tlbshoot-[a-z0-9-]*-v1' EXPERIMENTS.md docs/*.md | sort -u); do
+  grep -rq "${schema}" bin lib ||
+    complain "JSON schema '${schema}' is documented but no longer emitted by bin/ or lib/"
 done
 
 if [ "$fail" -eq 0 ]; then
